@@ -1,0 +1,33 @@
+"""Benchmark-suite plumbing.
+
+Each experiment builds one table (the rows EXPERIMENTS.md records).
+pytest captures stdout, so tables are accumulated here and re-emitted in
+the terminal summary — visible in plain ``pytest benchmarks/
+--benchmark-only`` runs and in the tee'd bench_output.txt.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+
+_TABLES: list[str] = []
+
+
+@pytest.fixture
+def report():
+    """``report(headers, rows, title=...)`` -> renders, records, returns."""
+
+    def _report(headers, rows, *, title):
+        text = render_table(headers, rows, title=title)
+        _TABLES.append(text)
+        print("\n" + text)
+        return text
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter):
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

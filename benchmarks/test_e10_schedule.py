@@ -1,0 +1,45 @@
+"""E10 — §4.1: schedule length vs deployment density.
+
+Builds schedules for grids of increasing density, verifies completeness
+and non-conflict, and reports the schedule length (= the density-
+dependent part of the per-virtual-round overhead).  At fixed density,
+growing the deployment must not grow the schedule materially.
+"""
+
+from repro.vi import build_schedule, verify_schedule
+from repro.workloads import vn_grid
+
+
+def sweep():
+    by_density = []
+    for spacing in (12.0, 8.0, 4.0, 2.0, 1.0):
+        sites, _ = vn_grid(4, 4, spacing=spacing)
+        schedule = build_schedule(sites, r1=1.0, r2=1.5)
+        verify_schedule(schedule, sites, r1=1.0, r2=1.5)
+        by_density.append((spacing, len(sites), schedule.length))
+    by_size = []
+    for rows_cols in (2, 4, 6, 8):
+        sites, _ = vn_grid(rows_cols, rows_cols, spacing=3.0)
+        schedule = build_schedule(sites, r1=1.0, r2=1.5)
+        verify_schedule(schedule, sites, r1=1.0, r2=1.5)
+        by_size.append((f"{rows_cols}x{rows_cols}", len(sites), schedule.length))
+    return by_density, by_size
+
+
+def test_e10_schedule(benchmark, report):
+    by_density, by_size = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        ["grid spacing", "virtual nodes", "schedule length s"],
+        by_density,
+        title="E10a / §4.1 — schedule length vs density (4x4 grid)",
+    )
+    report(
+        ["grid", "virtual nodes", "schedule length s"],
+        by_size,
+        title="E10b / §4.1 — schedule length vs deployment size (fixed density)",
+    )
+    lengths = [row[2] for row in by_density]
+    assert lengths == sorted(lengths)      # denser -> longer
+    assert lengths[-1] > lengths[0]
+    sizes = [row[2] for row in by_size]
+    assert max(sizes) <= min(sizes) + 2    # size barely matters at fixed density

@@ -1,0 +1,87 @@
+"""E11 — §4.3: join latency, state-transfer cost, and reset correctness.
+
+Measures (a) virtual rounds from entering a region to active replica-
+hood, as a function of schedule length (joins only happen in scheduled
+rounds, so latency scales with s); (b) the wire size of the join-ack
+state snapshot (the open question 3 of §5: "reducing the cost of state
+transfer"); (c) that resets happen exactly when the virtual node is
+dead.
+"""
+
+from repro.geometry import Point
+from repro.net import CrashSchedule, StaticMobility
+from repro.net.messages import wire_size
+from repro.vi import JoinAck, SilentProgram, VIWorld, VNSite
+from repro.workloads import single_region
+
+
+def join_latency(min_schedule_length):
+    sites, devices = single_region(2)
+    world = VIWorld(sites, {0: SilentProgram()},
+                    min_schedule_length=min_schedule_length)
+    for pos in devices:
+        world.add_device(pos)
+    start_vr = 2
+    joiner = world.add_device(
+        StaticMobility(Point(0.0, 0.05)),
+        start_round=world.clock.rounds_for(start_vr),
+        initially_active=False,
+    )
+    world.run_virtual_rounds(6 + 3 * min_schedule_length)
+    events = dict()
+    for vr, evt in world.devices[joiner].events:
+        events.setdefault(evt.split(":")[0], vr)
+    assert "active" in events, f"join never completed: {world.devices[joiner].events}"
+    ack_sizes = [
+        msg.size
+        for rec in world.sim.trace
+        for msg in rec.broadcasts.values()
+        if isinstance(msg.payload, JoinAck)
+    ]
+    return events["active"] - start_vr, max(ack_sizes)
+
+
+def reset_behaviour():
+    rpv = 13
+    rows = []
+    for kill, expect_reset in ((True, True), (False, False)):
+        crashes = CrashSchedule.of({0: 2 * rpv, 1: 2 * rpv}) if kill else None
+        sites, devices = single_region(2)
+        world = VIWorld(sites, {0: SilentProgram()}, crashes=crashes)
+        for pos in devices:
+            world.add_device(pos)
+        joiner = world.add_device(
+            StaticMobility(Point(0.0, 0.05)),
+            start_round=world.clock.rounds_for(4),
+            initially_active=False,
+        )
+        world.run_virtual_rounds(10)
+        events = [evt for _, evt in world.devices[joiner].events]
+        did_reset = "reset:0" in events
+        rows.append((("dead VN" if kill else "live VN"), did_reset,
+                     joiner in world.replicas_of(0)))
+        assert did_reset == expect_reset
+    return rows
+
+
+def test_e11_join_reset(benchmark, report):
+    latencies, resets = benchmark.pedantic(
+        lambda: ([(s,) + join_latency(s) for s in (1, 2, 4, 8)],
+                 reset_behaviour()),
+        rounds=1, iterations=1,
+    )
+    report(
+        ["schedule length s", "join latency (virtual rounds)",
+         "join-ack snapshot size (B)"],
+        latencies,
+        title="E11a / §4.3 — join latency and state-transfer cost",
+    )
+    report(
+        ["scenario", "reset performed", "joiner active afterwards"],
+        resets,
+        title="E11b / §4.3 — reset fires iff the virtual node is dead",
+    )
+    for s, latency, size in latencies:
+        assert latency <= s + 2          # next scheduled round + handshake
+        assert size < 400                # snapshot of a GC'd core is small
+    assert all(active for _, _, active in resets)

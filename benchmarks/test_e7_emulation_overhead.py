@@ -1,0 +1,57 @@
+"""E7 — §1.4/§4: constant overhead per virtual round.
+
+Two sweeps: (a) replicas per virtual node — the real-round cost of a
+virtual round must not depend on it; (b) deployment density — the cost is
+``s + 12`` where ``s`` is the schedule length, i.e. it "depends only on
+the density of the virtual node deployment".  Both are *measured* from
+executed worlds (real rounds consumed / virtual rounds completed), not
+read off the configuration.
+"""
+
+from repro.vi import SilentProgram, VIWorld
+from repro.workloads import single_region, vn_grid
+
+
+def measure_world(sites, devices, virtual_rounds=5):
+    world = VIWorld(sites, {s.vn_id: SilentProgram() for s in sites})
+    for pos in devices:
+        world.add_device(pos)
+    world.run_virtual_rounds(virtual_rounds)
+    real_rounds = len(world.sim.trace)
+    for site in sites:
+        assert world.availability(site.vn_id) == 1.0
+    return world.schedule.length, real_rounds / virtual_rounds
+
+
+def sweep():
+    by_replicas = []
+    for n in (1, 2, 4, 8, 16):
+        sites, devices = single_region(n_replicas=n)
+        s, cost = measure_world(sites, devices)
+        by_replicas.append((n, s, cost))
+    by_density = []
+    for spacing in (12.0, 6.0, 3.0, 2.0):
+        sites, devices = vn_grid(3, 3, spacing=spacing, replicas_per_vn=2)
+        s, cost = measure_world(sites, devices)
+        by_density.append((spacing, s, cost))
+    return by_replicas, by_density
+
+
+def test_e7_emulation_overhead(benchmark, report):
+    by_replicas, by_density = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        ["replicas / VN", "schedule length s", "real rounds / virtual round"],
+        by_replicas,
+        title="E7a / §1.4 — virtual-round cost vs replica count (flat)",
+    )
+    report(
+        ["grid spacing", "schedule length s", "real rounds / virtual round"],
+        by_density,
+        title="E7b / §4.1 — virtual-round cost vs deployment density (s+12)",
+    )
+    # Independent of replica count:
+    assert len({row[2] for row in by_replicas}) == 1
+    # Exactly s + 12, growing with density:
+    for _, s, cost in by_density:
+        assert cost == s + 12
+    assert by_density[-1][1] > by_density[0][1]

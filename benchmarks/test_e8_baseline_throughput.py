@@ -1,0 +1,54 @@
+"""E8 — §1.5: CHAP vs a majority-quorum RSM on the same channel.
+
+Fixed round budget; the table reports decided instances for CHAP (3
+rounds each, independent of n) against the majority strawman (n + 2
+rounds each, *with* free TDMA and ids).  The paper's qualitative claim —
+quorum protocols pay Θ(n) channel time per decision — is the n-fold
+throughput gap; a lossy channel widens it because one lost ack kills a
+whole majority instance.
+"""
+
+from repro.analysis import decided_instances
+from repro.baselines.majority_rsm import run_majority_rsm
+from repro.core import run_cha
+from repro.detectors import EventuallyAccurateDetector
+from repro.net import RandomLossAdversary
+
+BUDGET = 600  # real communication rounds
+
+
+def sweep():
+    rows = []
+    for n in (3, 6, 12, 24):
+        chap = run_cha(n=n, instances=BUDGET // 3)
+        chap_decided = decided_instances(chap, 0)
+        sim, procs = run_majority_rsm(n, rounds=BUDGET)
+        follower = procs[1]
+        rows.append((n, "clean", chap_decided, follower.decided_count))
+        sim, procs = run_majority_rsm(
+            n, rounds=BUDGET,
+            adversary=RandomLossAdversary(p_drop=0.15, seed=n),
+            detector=EventuallyAccurateDetector(racc=BUDGET),
+            rcf=BUDGET,
+        )
+        rows.append((n, "lossy 15%", chap_decided, procs[1].decided_count))
+    return rows
+
+
+def test_e8_baseline_throughput(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        ["n nodes", "channel", "CHAP decided", "majority RSM decided"],
+        rows,
+        title=f"E8 / §1.5 — decided instances in {BUDGET} rounds",
+    )
+    for n, channel, chap_decided, majority_decided in rows:
+        assert chap_decided == BUDGET // 3  # n-independent
+        assert majority_decided <= BUDGET // (n + 2)
+        if n >= 6:
+            assert chap_decided > 2 * majority_decided
+    # The lossy channel can only hurt the quorum protocol.
+    clean = {n: m for n, ch, _, m in rows if ch == "clean"}
+    lossy = {n: m for n, ch, _, m in rows if ch != "clean"}
+    assert all(lossy[n] <= clean[n] for n in clean)
+    assert any(lossy[n] < clean[n] for n in clean)

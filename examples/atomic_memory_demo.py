@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Atomic read/write memory on a virtual node (GeoQuorums-style).
+
+Two writers race; a reader observes.  The virtual node serialises all
+operations in virtual-round order, so the reader's view is atomic: the
+observed sequence numbers never go backwards, even though every physical
+device is an unreliable radio node.
+
+Run:  python examples/atomic_memory_demo.py
+"""
+
+from repro.apps import ReaderClient, RegisterProgram, WriterClient
+from repro.geometry import Point
+from repro.vi import VIWorld
+from repro.workloads import single_region
+
+
+def main() -> None:
+    sites, replica_positions = single_region(n_replicas=4)
+    world = VIWorld(sites, {0: RegisterProgram()})
+    for pos in replica_positions:
+        world.add_device(pos)
+
+    alice = WriterClient({1: "alice-1", 5: "alice-2"}, base_seq=1)
+    bob = WriterClient({3: "bob-1", 7: "bob-2"}, base_seq=100)
+    reader = ReaderClient()
+
+    world.add_device(Point(0.4, 0.0), client=alice, initially_active=False)
+    world.add_device(Point(-0.4, 0.0), client=bob, initially_active=False)
+    world.add_device(Point(0.0, 0.4), client=reader, initially_active=False)
+
+    world.run_virtual_rounds(12)
+
+    print("writes issued:")
+    for who, writer in (("alice", alice), ("bob", bob)):
+        for vr, seq, value in writer.issued:
+            print(f"  vr {vr:2d}  {who:5s}  seq={seq:3d}  value={value!r}")
+
+    print("\nreads observed (virtual round, seq, value):")
+    for vr, seq, value in reader.reads:
+        print(f"  vr {vr:2d}  seq={seq:3d}  value={value!r}")
+
+    seqs = reader.observed_sequence()
+    assert seqs == sorted(seqs), "atomicity violated!"
+    print("\natomicity check: observed sequence is monotone ✓")
+    world.check_replica_consistency(0)
+
+
+if __name__ == "__main__":
+    main()

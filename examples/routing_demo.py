@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Packet routing over a virtual-node overlay.
+
+Four virtual nodes form a static corridor overlay; packets deposited at
+one end hop mailbox-to-mailbox until the destination's region, where the
+final virtual node broadcasts the delivery.  Routing over *virtual*
+infrastructure reduces ad hoc routing to routing on a fixed graph —
+references [12, 16, 17, 40] of the paper.
+
+Run:  python examples/routing_demo.py
+"""
+
+from repro.apps import ReceiverClient, SenderClient, build_routing_programs
+from repro.geometry import Point
+from repro.vi import VIWorld
+from repro.workloads import vn_line
+
+
+def main() -> None:
+    hops = 4
+    sites, replica_positions = vn_line(hops, spacing=0.5, replicas_per_vn=2)
+    programs = build_routing_programs(sites, virtual_range=0.5)
+    print("next-hop tables:")
+    for vn_id, program in sorted(programs.items()):
+        print(f"  vn{vn_id}: {program.next_hop}")
+
+    world = VIWorld(sites, programs)
+    for pos in replica_positions:
+        world.add_device(pos)
+
+    sender = SenderClient(0, {1: (3, "hello-end"), 6: (2, "hello-middle")})
+    receiver_end = ReceiverClient()
+    receiver_mid = ReceiverClient()
+    world.add_device(Point(0.0, 0.4), client=sender, initially_active=False)
+    world.add_device(Point(1.5, 0.4), client=receiver_end, initially_active=False)
+    world.add_device(Point(1.0, -0.4), client=receiver_mid, initially_active=False)
+
+    world.run_virtual_rounds(60)
+
+    print("\ndeliveries at the far end (vn3's region):")
+    for vr, vn, body in receiver_end.received:
+        if vn == 3:
+            print(f"  vr {vr:2d}: {body!r}")
+    print("deliveries in the middle (vn2's region):")
+    for vr, vn, body in receiver_mid.received:
+        if vn == 2:
+            print(f"  vr {vr:2d}: {body!r}")
+
+    for site in sites:
+        world.check_replica_consistency(site.vn_id)
+    print("\nall virtual-node replicas consistent ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — Virtual Infrastructure for Collision-Prone Wireless Networks.
+
+A complete Python reproduction of Chockler, Gilbert & Lynch (PODC 2008):
+
+* :mod:`repro.net` — the slotted, collision-prone quasi-unit-disk radio
+  model of Section 2, as a deterministic discrete-round simulator.
+* :mod:`repro.detectors` — complete / eventually-accurate collision
+  detectors (Properties 1-2).
+* :mod:`repro.contention` — leader-election, exponential-backoff and
+  regional contention managers (Property 3, Section 4.2).
+* :mod:`repro.core` — **convergent history agreement** and the CHAP
+  protocol of Figure 1, plus the checkpoint-CHA variant of Section 3.5
+  and an executable CHA specification.
+* :mod:`repro.vi` — the full virtual-infrastructure emulation of
+  Section 4: schedules, replicas, clients, join/reset.
+* :mod:`repro.baselines` — the naive full-history RSM and a
+  majority-quorum RSM, the comparison points of Sections 1.5/3.4.
+* :mod:`repro.apps` — applications the paper motivates (atomic memory,
+  tracking, routing, robot coordination) built on virtual nodes.
+
+Quickstart::
+
+    from repro import run_cha, check_all
+
+    run = run_cha(n=5, instances=20)
+    check_all(run.outputs, run.proposals, liveness_by=1)
+"""
+
+from .core import (
+    Ballot,
+    CHAProcess,
+    ChaCore,
+    CheckpointCHAProcess,
+    History,
+    ROUNDS_PER_INSTANCE,
+    calculate_history,
+    check_agreement,
+    check_all,
+    check_liveness,
+    check_validity,
+    find_liveness_point,
+    run_cha,
+)
+from .types import BOTTOM, Color
+from . import net, detectors, contention, core
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "Ballot",
+    "CHAProcess",
+    "ChaCore",
+    "CheckpointCHAProcess",
+    "Color",
+    "History",
+    "ROUNDS_PER_INSTANCE",
+    "calculate_history",
+    "check_agreement",
+    "check_all",
+    "check_liveness",
+    "check_validity",
+    "contention",
+    "core",
+    "detectors",
+    "find_liveness_point",
+    "net",
+    "run_cha",
+    "__version__",
+]

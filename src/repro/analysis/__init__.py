@@ -1,0 +1,43 @@
+"""Metrics, invariant checkers and table rendering for experiments."""
+
+from .invariants import (
+    check_all_invariants,
+    check_lemma5,
+    check_lemma6,
+    check_lemma9,
+    check_prev_pointer_discipline,
+    check_property4,
+)
+from .metrics import (
+    SizeStats,
+    bottom_rate,
+    color_divergence_histogram,
+    convergence_instance,
+    decided_instances,
+    decision_throughput,
+    green_fraction_by_window,
+    message_size_stats,
+    rounds_per_decided_instance,
+)
+from .reporting import format_cell, print_table, render_table
+
+__all__ = [
+    "SizeStats",
+    "bottom_rate",
+    "check_all_invariants",
+    "check_lemma5",
+    "check_lemma6",
+    "check_lemma9",
+    "check_prev_pointer_discipline",
+    "check_property4",
+    "color_divergence_histogram",
+    "convergence_instance",
+    "decided_instances",
+    "decision_throughput",
+    "format_cell",
+    "green_fraction_by_window",
+    "message_size_stats",
+    "print_table",
+    "render_table",
+    "rounds_per_decided_instance",
+]

@@ -1,0 +1,55 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The experiment scripts print the same rows EXPERIMENTS.md records; this
+tiny renderer keeps them aligned and diff-friendly without pulling in a
+plotting stack (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        return f"{value:.3f}".rstrip("0").rstrip(".") if abs(value) < 1e6 else f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned ASCII table with the given headers and rows."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                *, title: str | None = None) -> str:
+    """Render, print and return the table (benchmarks use the side effect,
+    tests use the return value)."""
+    text = render_table(headers, rows, title=title)
+    print("\n" + text)
+    return text

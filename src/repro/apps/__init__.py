@@ -1,0 +1,43 @@
+"""Applications over virtual infrastructure (the paper's Section 1 list)."""
+
+from .atomic_memory import ReaderClient, RegisterProgram, WriterClient
+from .robots import (
+    CoordinatorProgram,
+    RobotClient,
+    circle_formation,
+    from_fixed,
+    to_fixed,
+)
+from .routing import (
+    DeliveringMailboxProgram,
+    ReceiverClient,
+    SenderClient,
+    build_routing_programs,
+    overlay_graph,
+)
+from .tracking import (
+    TargetClient,
+    TrackerProgram,
+    estimate_position,
+    last_seen_map,
+)
+
+__all__ = [
+    "CoordinatorProgram",
+    "DeliveringMailboxProgram",
+    "ReaderClient",
+    "ReceiverClient",
+    "RegisterProgram",
+    "RobotClient",
+    "SenderClient",
+    "TargetClient",
+    "TrackerProgram",
+    "WriterClient",
+    "build_routing_programs",
+    "circle_formation",
+    "estimate_position",
+    "from_fixed",
+    "last_seen_map",
+    "overlay_graph",
+    "to_fixed",
+]

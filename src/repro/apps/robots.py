@@ -1,0 +1,126 @@
+"""Mobile-robot coordination via a virtual node ([4, 27]).
+
+Lynch, Mitra & Nolte's motion-coordination work puts the *planner* on a
+virtual node: unreliable robots report positions; the reliable virtual
+node computes a formation assignment and broadcasts it; robots move
+toward their targets.  The virtual node's determinism makes the plan
+consistent, no matter which replicas emulate it.
+
+Robot kinematics here are *virtual* (each robot client integrates its own
+position in program state, moving at a bounded step per virtual round):
+the devices hosting the robot clients can themselves be static, which
+isolates the coordination logic from the emulation's churn dynamics.
+Positions are fixed-point integers (hundredths) to stay in the canonical
+value domain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..types import VirtualRound
+from ..vi.client import ClientProgram
+from ..vi.program import VNProgram, VirtualObservation
+
+#: Fixed-point scale for coordinates carried in messages.
+SCALE = 100
+
+
+def to_fixed(x: float) -> int:
+    return round(x * SCALE)
+
+
+def from_fixed(n: int) -> float:
+    return n / SCALE
+
+
+def circle_formation(count: int, *, radius: float) -> list[tuple[int, int]]:
+    """``count`` evenly spaced fixed-point targets on a circle."""
+    return [
+        (to_fixed(radius * math.cos(2 * math.pi * i / count)),
+         to_fixed(radius * math.sin(2 * math.pi * i / count)))
+        for i in range(count)
+    ]
+
+
+class CoordinatorProgram(VNProgram):
+    """Assigns each reporting robot a slot on a circle formation.
+
+    State: sorted tuple of ``(robot_id, slot)`` assignments.  Robots are
+    assigned slots in the (deterministic) order their reports were first
+    agreed; each round the coordinator broadcasts the full assignment of
+    one robot, cycling round-robin so every robot eventually hears its
+    target (a constant-size message per round).
+    """
+
+    def __init__(self, *, radius: float = 2.0, capacity: int = 8) -> None:
+        self.radius = radius
+        self.capacity = capacity
+
+    def init_state(self):
+        return ()
+
+    def emit(self, state, vr):
+        if not state:
+            return None
+        robot, slot = state[vr % len(state)]
+        targets = circle_formation(self.capacity, radius=self.radius)
+        tx, ty = targets[slot % self.capacity]
+        return ("goto", robot, tx, ty)
+
+    def step(self, state, vr, observation: VirtualObservation):
+        assigned = dict(state)
+        for item in observation.messages:
+            if item[0] == "cl":
+                payload = item[1]
+                if (isinstance(payload, tuple) and len(payload) == 4
+                        and payload[0] == "pos"):
+                    robot = payload[1]
+                    if robot not in assigned and len(assigned) < self.capacity:
+                        assigned[robot] = len(assigned)
+        return tuple(sorted(assigned.items()))
+
+
+class RobotClient(ClientProgram):
+    """A robot: reports its (virtual) position, obeys ``goto`` commands."""
+
+    def __init__(self, robot_id: str, *, start: tuple[float, float],
+                 step_length: float = 0.25, report_period: int = 2,
+                 report_offset: int = 0) -> None:
+        self.robot_id = robot_id
+        self.x, self.y = start
+        self.step_length = step_length
+        self.report_period = max(1, report_period)
+        #: Staggers reports: robots sharing a period must use distinct
+        #: offsets or their announcements collide every single round.
+        self.report_offset = report_offset % self.report_period
+        self.target: tuple[float, float] | None = None
+        self.track: list[tuple[float, float]] = [start]
+
+    def _advance(self) -> None:
+        if self.target is None:
+            return
+        dx, dy = self.target[0] - self.x, self.target[1] - self.y
+        dist = math.hypot(dx, dy)
+        if dist <= self.step_length:
+            self.x, self.y = self.target
+        elif dist > 0:
+            self.x += dx / dist * self.step_length
+            self.y += dy / dist * self.step_length
+
+    def on_round(self, vr, observation):
+        for item in observation.messages:
+            if item[0] == "vn" and isinstance(item[2], tuple) \
+                    and item[2][0] == "goto" and item[2][1] == self.robot_id:
+                self.target = (from_fixed(item[2][2]), from_fixed(item[2][3]))
+        self._advance()
+        self.track.append((self.x, self.y))
+        if (vr + 1) % self.report_period == self.report_offset:
+            return ("pos", self.robot_id, to_fixed(self.x), to_fixed(self.y))
+        return None
+
+    def distance_to_target(self) -> float | None:
+        if self.target is None:
+            return None
+        return math.hypot(self.target[0] - self.x, self.target[1] - self.y)

@@ -1,0 +1,127 @@
+"""Geographic routing over a virtual-node overlay ([12, 16, 17, 40]).
+
+Virtual nodes form a static overlay (they never move), which turns ad hoc
+routing into routing on a fixed graph — the paper's motivating
+observation.  This module builds mailbox virtual nodes wired with static
+next-hop tables computed by shortest paths on the overlay graph, plus the
+sender/receiver client programs.
+
+Delivery semantics: a packet hops one virtual node per *scheduled emit*
+along its path and is finally broadcast as ``("deliver", dest_vn, body)``
+in the destination's region.  Hops ride the collision-prone virtual
+channel — lost relays are lost packets, exactly like real radio.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+
+from ..geometry import Point
+from ..types import VirtualRound
+from ..vi.client import ClientProgram
+from ..vi.program import MailboxProgram, VirtualObservation
+from ..vi.schedule import VNSite
+
+
+class DeliveringMailboxProgram(MailboxProgram):
+    """A mailbox that announces arrivals: inbox items are broadcast as
+    ``("deliver", vn_id, body)`` (and then dropped), so receiver clients
+    in the region can pick them up."""
+
+    def emit(self, state, vr):
+        if not self.is_my_slot(vr):
+            return None
+        inbox, outbox = state
+        if inbox:
+            _, body = inbox[0]
+            return ("deliver", self.vn_id, body)
+        return super().emit(state, vr)
+
+    def step(self, state, vr, observation: VirtualObservation):
+        inbox, outbox = state
+        emitted = self.emit(state, vr)
+        if emitted is not None and emitted[0] == "deliver":
+            state = (inbox[1:], outbox)
+        inbox, outbox = state
+        if emitted is not None and emitted[0] == "relay":
+            outbox = outbox[1:]
+
+        def accept(dest, body):
+            nonlocal inbox, outbox
+            if dest == self.vn_id:
+                inbox = inbox + ((dest, body),)
+            elif dest in self.next_hop:
+                outbox = outbox + ((dest, body),)
+
+        for item in observation.messages:
+            if item[0] == "cl":
+                payload = item[1]
+                if (isinstance(payload, tuple) and len(payload) == 4
+                        and payload[0] == "send" and payload[1] == self.vn_id):
+                    accept(payload[2], payload[3])
+            elif item[0] == "vn":
+                payload = item[2]
+                if (isinstance(payload, tuple) and len(payload) == 4
+                        and payload[0] == "relay" and payload[1] == self.vn_id):
+                    accept(payload[2], payload[3])
+        return (inbox, outbox)
+
+
+def overlay_graph(sites: list[VNSite], *, virtual_range: float) -> nx.Graph:
+    """The overlay: virtual nodes joined when within mutual virtual range."""
+    g = nx.Graph()
+    g.add_nodes_from(site.vn_id for site in sites)
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            if a.location.within(b.location, virtual_range):
+                g.add_edge(a.vn_id, b.vn_id)
+    return g
+
+
+def build_routing_programs(sites: list[VNSite], *, virtual_range: float = 0.5,
+                           ) -> dict[int, DeliveringMailboxProgram]:
+    """One mailbox program per site, with shortest-path next-hop tables."""
+    g = overlay_graph(sites, virtual_range=virtual_range)
+    programs = {}
+    for site in sites:
+        table: dict[int, int] = {}
+        paths = nx.single_source_shortest_path(g, site.vn_id)
+        for dest, path in paths.items():
+            if dest != site.vn_id and len(path) >= 2:
+                table[dest] = path[1]
+        programs[site.vn_id] = DeliveringMailboxProgram(site.vn_id, table)
+    return programs
+
+
+class SenderClient(ClientProgram):
+    """Deposits scripted packets at a named ingress virtual node:
+    ``sends[vr] = (dest_vn, body)`` enter the overlay at ``ingress``."""
+
+    def __init__(self, ingress: int,
+                 sends: dict[VirtualRound, tuple[int, Any]]) -> None:
+        self.ingress = ingress
+        self.sends = dict(sends)
+
+    def on_round(self, vr, observation):
+        target = vr + 1
+        if target in self.sends:
+            dest, body = self.sends[target]
+            return ("send", self.ingress, dest, body)
+        return None
+
+
+class ReceiverClient(ClientProgram):
+    """Collects ``("deliver", vn, body)`` announcements it overhears."""
+
+    def __init__(self) -> None:
+        self.received: list[tuple[VirtualRound, int, Any]] = []
+
+    def on_round(self, vr, observation):
+        for item in observation.messages:
+            if item[0] == "vn" and isinstance(item[2], tuple) \
+                    and item[2][0] == "deliver":
+                _, vn, body = item[2]
+                self.received.append((vr, vn, body))
+        return None

@@ -1,0 +1,88 @@
+"""A location/tracking service over a virtual-node grid ([11, 16, 34, 36]).
+
+Mobile targets announce themselves; each virtual node remembers which
+targets it heard recently and broadcasts a digest.  Because virtual nodes
+sit at known locations, "target T was last heard by virtual node v"
+*is* a location estimate — the core trick of the paper's cited tracking
+services.
+
+The target's motion is carried by the device's real mobility model; its
+announcements reach whichever virtual nodes are in (emergent) virtual
+range, so the trace of last-seen records follows the target across the
+grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..geometry import Point
+from ..types import VirtualRound
+from ..vi.client import ClientProgram
+from ..vi.program import VNProgram, VirtualObservation
+from ..vi.world import VIWorld
+
+
+class TrackerProgram(VNProgram):
+    """Remembers the last virtual round each target was heard.
+
+    State: a sorted tuple of ``(target_id, last_seen_vr)`` pairs.  Emits
+    a digest of the most recently heard target so that queriers (and
+    neighbouring virtual nodes) can follow hand-offs.
+    """
+
+    def init_state(self):
+        return ()
+
+    def emit(self, state, vr):
+        if not state:
+            return None
+        target, seen = max(state, key=lambda pair: (pair[1], pair[0]))
+        return ("seen", target, seen)
+
+    def step(self, state, vr, observation: VirtualObservation):
+        last = dict(state)
+        for item in observation.messages:
+            if item[0] == "cl":
+                payload = item[1]
+                if (isinstance(payload, tuple) and len(payload) == 2
+                        and payload[0] == "here"):
+                    last[payload[1]] = vr
+        return tuple(sorted(last.items()))
+
+
+class TargetClient(ClientProgram):
+    """A target announcing ``("here", target_id)`` every ``period`` rounds."""
+
+    def __init__(self, target_id: str, *, period: int = 1) -> None:
+        self.target_id = target_id
+        self.period = max(1, period)
+
+    def on_round(self, vr, observation):
+        if (vr + 1) % self.period == 0:
+            return ("here", self.target_id)
+        return None
+
+
+def last_seen_map(world: VIWorld, target_id: str) -> dict[int, VirtualRound]:
+    """Per-virtual-node last-seen round for a target (from replica state)."""
+    out: dict[int, VirtualRound] = {}
+    for site in world.sites:
+        for state in world.vn_states(site.vn_id).values():
+            seen = dict(state).get(target_id)
+            if seen is not None:
+                out[site.vn_id] = max(out.get(site.vn_id, -1), seen)
+            break  # replicas agree; one is enough
+    return out
+
+
+def estimate_position(world: VIWorld, target_id: str) -> Point | None:
+    """The home location of the virtual node that heard the target last."""
+    seen = last_seen_map(world, target_id)
+    if not seen:
+        return None
+    best_vn = max(seen, key=lambda vn: (seen[vn], -vn))
+    for site in world.sites:
+        if site.vn_id == best_vn:
+            return site.location
+    return None

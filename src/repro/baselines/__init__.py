@@ -1,0 +1,25 @@
+"""Baselines the paper compares against (Sections 1.5, 3.4)."""
+
+from .majority_rsm import Ack, Commit, MajorityRSMProcess, Propose
+from .naive_rsm import NaiveBallotPayload, NaiveRSMProcess
+from .three_phase_commit import (
+    Decision,
+    Participant,
+    ParticipantState,
+    ThreePhaseCommit,
+    state_spread,
+)
+
+__all__ = [
+    "Ack",
+    "Commit",
+    "Decision",
+    "MajorityRSMProcess",
+    "NaiveBallotPayload",
+    "NaiveRSMProcess",
+    "Participant",
+    "ParticipantState",
+    "Propose",
+    "ThreePhaseCommit",
+    "state_spread",
+]

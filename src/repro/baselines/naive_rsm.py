@@ -1,0 +1,53 @@
+"""The naive replicated-state machine: full history in every message.
+
+Section 3.4: "a naïve solution might include the entire history in every
+message".  This baseline is *correct* — it is CHAP with the entire
+computed history embedded in each ballot (which is how classical RSM
+implementations ship state to lagging replicas and joiners) — but its
+wire messages grow linearly with the execution, violating exactly the
+property Theorem 14 buys.  Experiment E2 plots the two side by side.
+
+Because the protocol logic is inherited unchanged from CHAP, the outputs
+of a naive ensemble are *identical* to a CHAP ensemble run under the same
+environment, which the test-suite asserts; the baselines differ only on
+the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.ballot import Ballot, BallotPayload
+from ..core.cha import CHAProcess, PHASE_BALLOT
+from ..types import Instance, Round, Value
+
+
+@dataclass(frozen=True)
+class NaiveBallotPayload(BallotPayload):
+    """A ballot dragging the proposer's entire decided history behind it.
+
+    Subclasses :class:`BallotPayload` so receivers process it through the
+    ordinary CHAP path; ``history_entries`` is pure wire weight (and what
+    a classical RSM would let a joiner catch up from).
+    """
+
+    history_entries: tuple[tuple[Instance, Value], ...] = ()
+
+
+class NaiveRSMProcess(CHAProcess):
+    """CHAP with naive full-history ballots."""
+
+    def send(self, r: Round, active: bool) -> Any | None:
+        if self._phase(r) != PHASE_BALLOT:
+            return super().send(r, active)
+        payload = self.core.begin_instance()
+        if not active:
+            return None
+        history = self.core.current_history()
+        return NaiveBallotPayload(
+            tag=payload.tag,
+            instance=payload.instance,
+            ballot=payload.ballot,
+            history_entries=tuple(history.items()),
+        )

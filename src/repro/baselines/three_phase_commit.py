@@ -1,0 +1,162 @@
+"""Classic three-phase commit (Skeen 1981/82), CHAP's intellectual ancestor.
+
+Section 1.4 notes CHAP "uses a novel strategy, inspired by three-phase
+commit, to ensure consistent outputs despite collisions, lost messages,
+and crash failures".  This module implements textbook 3PC as a
+synchronous message-passing protocol so the library can demonstrate the
+lineage — the can-commit / pre-commit / do-commit stages correspond to
+CHAP's ballot / veto-1 / veto-2, and 3PC's non-blocking property under
+single-site failure mirrors Lemma 5's one-shade bound.
+
+The implementation is deliberately self-contained (it runs on an abstract
+point-to-point network with scriptable message loss and crashes, not the
+radio simulator) — it is a *reference comparator*, not a radio protocol;
+the whole point of the paper is that this style of protocol does not
+transplant directly onto a collision-prone broadcast channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Decision(enum.Enum):
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+class ParticipantState(enum.Enum):
+    """The classic 3PC state machine states."""
+
+    INITIAL = "q"          # no vote yet
+    WAITING = "w"          # voted yes, awaiting pre-commit
+    PRECOMMITTED = "p"     # received pre-commit, awaiting do-commit
+    COMMITTED = "c"
+    ABORTED = "a"
+
+
+@dataclass
+class Participant:
+    """One cohort member."""
+
+    pid: int
+    vote_yes: bool = True
+    state: ParticipantState = ParticipantState.INITIAL
+    crashed: bool = False
+
+    def decision(self) -> Decision | None:
+        if self.state is ParticipantState.COMMITTED:
+            return Decision.COMMIT
+        if self.state is ParticipantState.ABORTED:
+            return Decision.ABORT
+        return None
+
+
+@dataclass
+class ThreePhaseCommit:
+    """A single 3PC transaction instance.
+
+    ``lossy`` is the set of participant ids whose messages to/from the
+    coordinator are lost this run; ``crash_after_phase`` crashes the
+    coordinator after the named phase ('votes', 'precommit'), exercising
+    the termination protocol.
+    """
+
+    participants: list[Participant]
+    lossy: frozenset[int] = frozenset()
+    crash_coordinator_after: str | None = None
+    #: Phase-by-phase log, for tests and teaching output.
+    log: list[str] = field(default_factory=list)
+
+    def _reachable(self, p: Participant) -> bool:
+        return not p.crashed and p.pid not in self.lossy
+
+    def run(self) -> Decision:
+        """Drive the instance to a coordinator decision (or termination
+        protocol outcome when the coordinator crashes)."""
+        # Phase 1: can-commit? / votes.
+        self.log.append("phase1: can-commit?")
+        votes = []
+        for p in self.participants:
+            if self._reachable(p) and p.vote_yes:
+                p.state = ParticipantState.WAITING
+                votes.append(True)
+            elif self._reachable(p):
+                p.state = ParticipantState.ABORTED
+                votes.append(False)
+            else:
+                votes.append(False)  # silence counts as a no-vote
+
+        if not all(votes):
+            self.log.append("phase1: abort (missing/negative vote)")
+            self._broadcast_abort()
+            return Decision.ABORT
+
+        if self.crash_coordinator_after == "votes":
+            self.log.append("coordinator crashed after votes")
+            return self._termination_protocol()
+
+        # Phase 2: pre-commit.
+        self.log.append("phase2: pre-commit")
+        for p in self.participants:
+            if self._reachable(p) and p.state is ParticipantState.WAITING:
+                p.state = ParticipantState.PRECOMMITTED
+
+        if self.crash_coordinator_after == "precommit":
+            self.log.append("coordinator crashed after pre-commit")
+            return self._termination_protocol()
+
+        # Phase 3: do-commit.
+        self.log.append("phase3: do-commit")
+        for p in self.participants:
+            if self._reachable(p) and p.state is ParticipantState.PRECOMMITTED:
+                p.state = ParticipantState.COMMITTED
+        return Decision.COMMIT
+
+    def _broadcast_abort(self) -> None:
+        for p in self.participants:
+            if self._reachable(p) and p.state is not ParticipantState.COMMITTED:
+                p.state = ParticipantState.ABORTED
+
+    def _termination_protocol(self) -> Decision:
+        """The cohort elects a survivor and decides from local states.
+
+        3PC's key non-blocking property: the survivors' states can differ
+        by at most one stage (compare Lemma 5's one-shade bound), so:
+        any PRECOMMITTED survivor => commit is safe; otherwise abort.
+        """
+        survivors = [p for p in self.participants if not p.crashed]
+        if any(p.state is ParticipantState.COMMITTED for p in survivors):
+            decision = Decision.COMMIT
+        elif any(p.state is ParticipantState.PRECOMMITTED for p in survivors):
+            decision = Decision.COMMIT
+        elif all(p.state is ParticipantState.ABORTED for p in survivors):
+            decision = Decision.ABORT
+        else:
+            decision = Decision.ABORT
+        self.log.append(f"termination protocol: {decision.value}")
+        for p in survivors:
+            p.state = (ParticipantState.COMMITTED if decision is Decision.COMMIT
+                       else ParticipantState.ABORTED)
+        return decision
+
+
+def state_spread(participants: Iterable[Participant]) -> int:
+    """Maximum stage distance between non-crashed participants.
+
+    The 3PC analogue of Property 4's shade distance; the protocol keeps
+    it at most 1 between adjacent commit stages.
+    """
+    order = {
+        ParticipantState.ABORTED: 0,
+        ParticipantState.INITIAL: 0,
+        ParticipantState.WAITING: 1,
+        ParticipantState.PRECOMMITTED: 2,
+        ParticipantState.COMMITTED: 3,
+    }
+    stages = [order[p.state] for p in participants if not p.crashed]
+    if not stages:
+        return 0
+    return max(stages) - min(stages)

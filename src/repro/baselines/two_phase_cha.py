@@ -1,0 +1,114 @@
+"""Ablation A1: CHAP with the veto-2 phase removed.
+
+The paper credits its safety to a three-phase, four-colour structure
+inherited from three-phase commit.  This ablation keeps the ballot phase
+and a *single* veto phase (three colours: red < orange < green, output on
+green), i.e. the two-phase-commit shape.  It is cheaper — two rounds per
+instance — and **unsafe**: a node can turn green while a peer that
+experienced a (possibly spurious) collision in the same veto phase stays
+orange without advancing its ``prev-instance`` pointer.  If the green
+node then crashes and the orange node leads, the new chain skips the
+decided instance and Agreement breaks.
+
+The missing veto-2 phase is exactly what closes this window in CHAP: an
+orange node broadcasts a second veto, forcing the would-be-green node
+down to yellow.  Benchmark A1 constructs the violating schedule and
+counts spec violations for both protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.ballot import BallotPayload, VetoPayload
+from ..core.cha import ChaCore
+from ..core.history import History
+from ..net.messages import Message
+from ..net.node import Process
+from ..types import BOTTOM, Color, Instance, Round, Value
+
+#: Rounds per instance for the ablated protocol.
+TWO_PHASE_ROUNDS = 2
+
+
+class TwoPhaseChaProcess(Process):
+    """CHAP minus veto-2.  Colours: red < orange < green (no yellow)."""
+
+    def __init__(self, *, propose: Callable[[Instance], Value],
+                 cm_name: str = "C", tag: Any = "2pc-cha") -> None:
+        self.core = ChaCore(propose=propose, tag=tag)
+        self.cm_name = cm_name
+
+    def contend(self, r: Round) -> str | None:
+        return self.cm_name
+
+    def send(self, r: Round, active: bool) -> Any | None:
+        if r % TWO_PHASE_ROUNDS == 0:
+            payload = self.core.begin_instance()
+            return payload if active else None
+        if self.core.wants_veto1():  # red nodes veto; no second chance
+            return VetoPayload(self.core.tag, self.core.k, 1)
+        return None
+
+    def deliver(self, r: Round, messages: tuple[Message, ...],
+                collision: bool) -> None:
+        mine = [
+            m.payload for m in messages
+            if getattr(m.payload, "tag", None) == self.core.tag
+        ]
+        if r % TWO_PHASE_ROUNDS == 0:
+            ballots = [
+                p.ballot for p in mine
+                if isinstance(p, BallotPayload) and p.instance == self.core.k
+            ]
+            self.core.on_ballot_reception(ballots, collision)
+            return
+        veto = any(isinstance(p, VetoPayload) for p in mine)
+        # Single veto phase: trouble demotes green straight to orange, and
+        # the instance ends here.  Only green advances prev / outputs.
+        if veto or collision:
+            self.core.status[self.core.k] = min(
+                Color.ORANGE, self.core.status[self.core.k],
+            )
+        k = self.core.k
+        output: History | None
+        if self.core.status[k] is Color.GREEN:
+            self.core.prev_instance = k
+            output = self.core.current_history()
+        else:
+            output = BOTTOM
+        self.core.outputs.append((k, output))
+
+    @property
+    def outputs(self):
+        return self.core.outputs
+
+    @property
+    def proposals_made(self):
+        return self.core.proposals_made
+
+
+def run_two_phase(n: int, instances: int, *, adversary=None, detector=None,
+                  cm=None, crashes=None, rcf: int = 0):
+    """Two-phase ensemble runner mirroring :func:`repro.core.runner.run_cha`."""
+    from ..contention import LeaderElectionCM
+    from ..core.runner import ChaRun, cluster_positions, default_proposer
+    from ..detectors import EventuallyAccurateDetector
+    from ..net import RadioSpec, Simulator
+
+    sim = Simulator(
+        spec=RadioSpec(r1=1.0, r2=1.5, rcf=rcf),
+        adversary=adversary,
+        detector=detector or EventuallyAccurateDetector(),
+        cms={"C": cm or LeaderElectionCM(stable_round=0)},
+        crashes=crashes,
+    )
+    processes = {}
+    for position in cluster_positions(n):
+        node = len(processes)
+        proc = TwoPhaseChaProcess(propose=default_proposer(node))
+        assert sim.add_node(proc, position) == node
+        processes[node] = proc
+    trace = sim.run(instances * TWO_PHASE_ROUNDS)
+    return ChaRun(simulator=sim, processes=processes, trace=trace,
+                  instances=instances)

@@ -1,0 +1,15 @@
+"""Contention managers (Property 3, Section 4.2)."""
+
+from .backoff import ExponentialBackoffCM
+from .base import ContentionManager
+from .leader import FixedLeaderCM, LeaderElectionCM, ScriptedCM
+from .regional import RegionalCM
+
+__all__ = [
+    "ContentionManager",
+    "ExponentialBackoffCM",
+    "FixedLeaderCM",
+    "LeaderElectionCM",
+    "RegionalCM",
+    "ScriptedCM",
+]

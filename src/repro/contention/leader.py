@@ -1,0 +1,83 @@
+"""Idealised leader-election contention manager (Property 3, exactly).
+
+Before its stabilisation round the manager can be configured to behave
+badly — advising everyone, nobody, or a random subset — which is precisely
+the freedom the paper grants real back-off protocols during unstable
+periods.  From ``stable_round`` onward it advises exactly one contender:
+the least node id among contenders.  Because a crashed node stops
+contending, advice automatically migrates to a surviving node, satisfying
+Property 3(2).
+
+The use of node ids here does not contradict the protocol's anonymity:
+the contention manager is an *environment service* (the paper treats it
+as an abstraction realised by, e.g., randomised back-off) and ids are
+merely how this oracle realisation breaks symmetry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Literal, Sequence
+
+from ..errors import ConfigurationError
+from ..types import NodeId, Round
+from .base import ContentionManager
+
+ChaosMode = Literal["all", "none", "random"]
+
+
+class LeaderElectionCM(ContentionManager):
+    """Oracle leader election with configurable pre-stability chaos."""
+
+    def __init__(self, *, stable_round: Round = 0, chaos: ChaosMode = "all",
+                 seed: int = 0) -> None:
+        if stable_round < 0:
+            raise ConfigurationError("stable_round must be non-negative")
+        if chaos not in ("all", "none", "random"):
+            raise ConfigurationError(f"unknown chaos mode {chaos!r}")
+        self.stable_round = stable_round
+        self.chaos = chaos
+        self._rng = random.Random(seed)
+
+    def advise(self, r: Round, contenders: Sequence[NodeId]) -> frozenset[NodeId]:
+        if not contenders:
+            return frozenset()
+        if r >= self.stable_round:
+            return frozenset({min(contenders)})
+        if self.chaos == "all":
+            return frozenset(contenders)
+        if self.chaos == "none":
+            return frozenset()
+        return frozenset(
+            node for node in contenders if self._rng.random() < 0.5
+        )
+
+
+class FixedLeaderCM(ContentionManager):
+    """Always advises a designated node (when it contends).
+
+    Useful in unit tests that need complete control of who broadcasts.
+    """
+
+    def __init__(self, leader: NodeId) -> None:
+        self.leader = leader
+
+    def advise(self, r: Round, contenders: Sequence[NodeId]) -> frozenset[NodeId]:
+        if self.leader in contenders:
+            return frozenset({self.leader})
+        return frozenset()
+
+
+class ScriptedCM(ContentionManager):
+    """Advice read from an explicit per-round script.
+
+    ``script`` maps round -> iterable of node ids to advise; missing
+    rounds advise nobody.  The simulator still intersects with actual
+    contenders (Property 3(3)).
+    """
+
+    def __init__(self, script: dict[Round, Sequence[NodeId]]) -> None:
+        self._script = {r: frozenset(nodes) for r, nodes in script.items()}
+
+    def advise(self, r: Round, contenders: Sequence[NodeId]) -> frozenset[NodeId]:
+        return self._script.get(r, frozenset()) & frozenset(contenders)

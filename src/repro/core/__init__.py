@@ -1,0 +1,54 @@
+"""The paper's core contribution: convergent history agreement (CHAP)."""
+
+from .ballot import Ballot, BallotPayload, VetoPayload, canonical_key
+from .cha import (
+    CHAProcess,
+    ChaCore,
+    PHASE_BALLOT,
+    PHASE_VETO1,
+    PHASE_VETO2,
+    ROUNDS_PER_INSTANCE,
+    calculate_history,
+)
+from .checkpoint import (
+    CheckpointCHAProcess,
+    CheckpointChaCore,
+    CheckpointOutput,
+)
+from .history import EMPTY_HISTORY, History
+from .runner import ChaRun, cluster_positions, default_proposer, run_cha
+from .spec import (
+    check_agreement,
+    check_all,
+    check_liveness,
+    check_validity,
+    find_liveness_point,
+)
+
+__all__ = [
+    "Ballot",
+    "BallotPayload",
+    "CHAProcess",
+    "ChaCore",
+    "ChaRun",
+    "CheckpointCHAProcess",
+    "CheckpointChaCore",
+    "CheckpointOutput",
+    "EMPTY_HISTORY",
+    "History",
+    "PHASE_BALLOT",
+    "PHASE_VETO1",
+    "PHASE_VETO2",
+    "ROUNDS_PER_INSTANCE",
+    "VetoPayload",
+    "calculate_history",
+    "canonical_key",
+    "check_agreement",
+    "check_all",
+    "check_liveness",
+    "check_validity",
+    "cluster_positions",
+    "default_proposer",
+    "find_liveness_point",
+    "run_cha",
+]

@@ -1,0 +1,90 @@
+"""Ballots and their total order, plus the CHAP wire payloads.
+
+A ballot (Figure 1, line 16) is the pair ``⟨v, prev-instance⟩``: the
+proposal for the current instance and the proposer's most recent *good*
+instance.  Ballots must be totally ordered because a node that receives
+several ballots adopts ``min(M)`` deterministically (line 32).
+
+The paper's value domain ``V`` is an abstract totally-ordered set; this
+implementation admits heterogeneous Python values by comparing their
+*canonical keys* — type-tagged recursive tuples — which yields a total
+order even across types (all ints before all strings, etc.).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any
+
+from ..types import Instance, Value
+
+
+def canonical_key(value: Value) -> tuple:
+    """A type-tagged, recursively ordered key for an arbitrary value in V.
+
+    Guarantees a total order over the supported domain: ``bool``, ``int``,
+    ``float``, ``str``, ``bytes``, ``None``-free tuples/lists and
+    frozensets of supported values.  Tags sort first, so heterogeneous
+    comparisons never hit Python's cross-type ``TypeError``.
+    """
+    if isinstance(value, bool):
+        return ("a-bool", int(value))
+    if isinstance(value, int):
+        return ("b-int", value)
+    if isinstance(value, float):
+        return ("c-float", value)
+    if isinstance(value, str):
+        return ("d-str", value)
+    if isinstance(value, bytes):
+        return ("e-bytes", value)
+    if isinstance(value, (tuple, list)):
+        return ("f-seq", tuple(canonical_key(v) for v in value))
+    if isinstance(value, frozenset):
+        return ("g-set", tuple(sorted(canonical_key(v) for v in value)))
+    raise TypeError(
+        f"value {value!r} of type {type(value).__name__} is outside the "
+        "supported totally-ordered domain V"
+    )
+
+
+@functools.total_ordering
+@dataclass(frozen=True, slots=True)
+class Ballot:
+    """The pair ``⟨v, prev-instance⟩`` of Figure 1."""
+
+    value: Value
+    prev_instance: Instance
+
+    def sort_key(self) -> tuple:
+        return (canonical_key(self.value), self.prev_instance)
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+# ----------------------------------------------------------------------
+# Wire payloads.  Both are constant-size in the paper's accounting: a
+# value from V plus instance pointers (footnote 3 charges instance
+# pointers as constants).  The instance field is a sanity tag — the slot
+# number already determines the instance in the synchronous model — and
+# lets the emulation multiplex several CHA instances on one channel.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BallotPayload:
+    """Ballot-phase broadcast: ``⟨v, prev-instance⟩`` tagged with instance."""
+
+    tag: Any          # protocol/virtual-node tag, for multiplexing
+    instance: Instance
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class VetoPayload:
+    """Veto-phase broadcast: the constant-size ``⟨veto⟩`` message."""
+
+    tag: Any
+    instance: Instance
+    phase: int        # 1 for veto-1, 2 for veto-2 (sanity tag)

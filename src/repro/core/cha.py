@@ -1,0 +1,273 @@
+"""CHAP — the Convergent History Agreement Protocol of Figure 1.
+
+The protocol is factored in two layers:
+
+* :class:`ChaCore` is the pure protocol state machine: colours, ballots,
+  the ``prev-instance`` pointer and ``calculate-history``.  It exposes one
+  method per protocol event (begin instance, ballot reception, veto
+  decisions/receptions) and is driven explicitly.  The virtual-
+  infrastructure emulation (Section 4) reuses this core with its own
+  eleven-phase schedule.
+* :class:`CHAProcess` adapts the core to the simulator's
+  :class:`~repro.net.node.Process` interface with the canonical
+  three-rounds-per-instance schedule of Section 3 (ballot, veto-1,
+  veto-2), contending for a single contention manager every round as the
+  paper prescribes.
+
+Colour semantics (Figure 2):
+
+====================  =========  ==========================
+phases that went bad  colour     output for the instance
+====================  =========  ==========================
+none                  green      the computed history
+veto-2 only           yellow     ⊥ (but instance is *good*)
+veto-1 (and later)    orange     ⊥
+ballot (and later)    red        ⊥, and no ballot is stored
+====================  =========  ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import ProtocolError
+from ..net.messages import Message
+from ..net.node import Process
+from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Round, Value
+from .ballot import Ballot, BallotPayload, VetoPayload
+from .history import History
+
+#: Rounds per CHA instance in the canonical schedule (Theorem 14's constant).
+ROUNDS_PER_INSTANCE = 3
+
+PHASE_BALLOT = 0
+PHASE_VETO1 = 1
+PHASE_VETO2 = 2
+
+
+def calculate_history(instance: Instance, prev: Instance,
+                      ballots: Mapping[Instance, Ballot]) -> History:
+    """The ``calculate-history`` function of Figure 1 (lines 46-54).
+
+    Walks the ``prev-instance`` pointers backwards from ``prev``, adopting
+    the stored ballot value at every instance on the chain and bottom
+    everywhere else.  ``instance`` is the current (not necessarily good)
+    instance and fixes the domain ``1..instance`` of the result.
+    """
+    entries: dict[Instance, Value] = {}
+    k = instance
+    while k >= 1:
+        if k == prev:
+            ballot = ballots.get(k)
+            if ballot is None:
+                raise ProtocolError(
+                    f"calculate-history reached instance {k} on the chain "
+                    "but no ballot is stored for it"
+                )
+            entries[k] = ballot.value
+            prev = ballot.prev_instance
+        k -= 1
+    return History(instance, entries)
+
+
+class ChaCore:
+    """Protocol state machine for one CHAP participant.
+
+    ``propose`` supplies the input value for each instance (Figure 1,
+    line 15); proposals are recorded for the Validity checker.  ``tag``
+    labels this participant's wire payloads so several logical CHA
+    executions can share a physical channel (used by the emulation).
+    """
+
+    def __init__(self, *, propose: Callable[[Instance], Value],
+                 tag: Any = "cha") -> None:
+        self._propose = propose
+        self.tag = tag
+        self.k: Instance = NO_INSTANCE
+        self.prev_instance: Instance = NO_INSTANCE
+        self.status: dict[Instance, Color] = {}
+        self.ballots: dict[Instance, Ballot] = {}
+        self.proposals_made: dict[Instance, Value] = {}
+        #: Chronological outputs: (instance, History or BOTTOM).
+        self.outputs: list[tuple[Instance, History | None]] = []
+
+    # ------------------------------------------------------------------
+    # Ballot phase
+    # ------------------------------------------------------------------
+
+    def begin_instance(self) -> BallotPayload:
+        """Start the next instance; returns the ballot this node *would*
+        broadcast if the contention manager advises it to (lines 14-19)."""
+        self.k += 1
+        value = self._propose(self.k)
+        self.proposals_made[self.k] = value
+        self.status[self.k] = Color.GREEN
+        return BallotPayload(
+            tag=self.tag,
+            instance=self.k,
+            ballot=Ballot(value, self.prev_instance),
+        )
+
+    def on_ballot_reception(self, ballots: Iterable[Ballot], collision: bool) -> None:
+        """Ballot-phase reception (lines 29-32).
+
+        An empty reception or a collision indication paints the instance
+        red; otherwise the minimum ballot is adopted.
+        """
+        received = sorted(ballots)
+        if collision or not received:
+            self.status[self.k] = Color.RED
+        else:
+            self.ballots[self.k] = received[0]
+
+    # ------------------------------------------------------------------
+    # Veto phases
+    # ------------------------------------------------------------------
+
+    def wants_veto1(self) -> bool:
+        """Broadcast ⟨veto⟩ in veto-1 iff the instance is red (line 21)."""
+        return self.status[self.k] is Color.RED
+
+    def on_veto1_reception(self, veto_seen: bool, collision: bool) -> None:
+        """Veto-1 reception (lines 33-35): downgrade green to orange."""
+        if veto_seen or collision:
+            self.status[self.k] = min(Color.ORANGE, self.status[self.k])
+
+    def wants_veto2(self) -> bool:
+        """Broadcast ⟨veto⟩ in veto-2 iff red or orange (line 25)."""
+        return self.status[self.k] <= Color.ORANGE
+
+    def on_veto2_reception(self, veto_seen: bool, collision: bool) -> tuple[Instance, History | None]:
+        """Veto-2 reception and end-of-instance bookkeeping (lines 36-45).
+
+        Downgrades green to yellow on trouble, advances ``prev-instance``
+        for good instances, computes the history, and produces the
+        instance's output: the history when green, bottom otherwise.
+        """
+        if veto_seen or collision:
+            self.status[self.k] = min(Color.YELLOW, self.status[self.k])
+        if self.status[self.k].is_good:
+            self.prev_instance = self.k
+        output: History | None
+        if self.status[self.k] is Color.GREEN:
+            output = self.current_history()
+        else:
+            output = BOTTOM
+        self.outputs.append((self.k, output))
+        return self.k, output
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def current_history(self) -> History:
+        """The history computed from the current chain (line 41).
+
+        Well-defined at any time; emulation replicas use it to derive the
+        virtual node's state even in instances whose output is bottom.
+        """
+        return calculate_history(self.k, self.prev_instance, self.ballots)
+
+    def color_of(self, k: Instance) -> Color:
+        """Colour this node assigns instance ``k`` (green if untouched)."""
+        return self.status.get(k, Color.GREEN)
+
+    def decided_history(self) -> History | None:
+        """The most recent non-bottom output, if any."""
+        for _, out in reversed(self.outputs):
+            if out is not BOTTOM:
+                return out
+        return None
+
+    def resident_entries(self) -> int:
+        """Stored ballot + status entries (space metric for experiment E9)."""
+        return len(self.ballots) + len(self.status)
+
+    # ------------------------------------------------------------------
+    # State transfer (used by the emulation's join protocol)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A copyable snapshot of the protocol state."""
+        return {
+            "k": self.k,
+            "prev_instance": self.prev_instance,
+            "status": dict(self.status),
+            "ballots": dict(self.ballots),
+        }
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Adopt a snapshot produced by :meth:`snapshot`."""
+        self.k = snapshot["k"]
+        self.prev_instance = snapshot["prev_instance"]
+        self.status = dict(snapshot["status"])
+        self.ballots = dict(snapshot["ballots"])
+
+
+class CHAProcess(Process):
+    """CHAP on the canonical 3-round schedule, as a simulator process.
+
+    Every round the node contends for contention manager ``cm_name``
+    ("every (correct) node contends for the contention manager Cℓ"); the
+    advice only matters in ballot phases.  ``start_round`` shifts the
+    phase grid so several ensembles can interleave.
+    """
+
+    def __init__(self, *, propose: Callable[[Instance], Value],
+                 cm_name: str = "C", tag: Any = "cha",
+                 start_round: Round = 0,
+                 on_output: Callable[[Instance, History | None], None] | None = None) -> None:
+        self.core = ChaCore(propose=propose, tag=tag)
+        self.cm_name = cm_name
+        self.start_round = start_round
+        self._on_output = on_output
+        self._pending_ballot: BallotPayload | None = None
+
+    def _phase(self, r: Round) -> int:
+        return (r - self.start_round) % ROUNDS_PER_INSTANCE
+
+    def contend(self, r: Round) -> str | None:
+        return self.cm_name
+
+    def send(self, r: Round, active: bool) -> Any | None:
+        phase = self._phase(r)
+        if phase == PHASE_BALLOT:
+            self._pending_ballot = self.core.begin_instance()
+            if active:
+                return self._pending_ballot
+            return None
+        if phase == PHASE_VETO1:
+            if self.core.wants_veto1():
+                return VetoPayload(self.core.tag, self.core.k, 1)
+            return None
+        if self.core.wants_veto2():
+            return VetoPayload(self.core.tag, self.core.k, 2)
+        return None
+
+    def deliver(self, r: Round, messages: tuple[Message, ...], collision: bool) -> None:
+        phase = self._phase(r)
+        mine = [m.payload for m in messages if getattr(m.payload, "tag", None) == self.core.tag]
+        if phase == PHASE_BALLOT:
+            ballots = [
+                p.ballot for p in mine
+                if isinstance(p, BallotPayload) and p.instance == self.core.k
+            ]
+            self.core.on_ballot_reception(ballots, collision)
+        elif phase == PHASE_VETO1:
+            veto = any(isinstance(p, VetoPayload) for p in mine)
+            self.core.on_veto1_reception(veto, collision)
+        else:
+            veto = any(isinstance(p, VetoPayload) for p in mine)
+            k, output = self.core.on_veto2_reception(veto, collision)
+            if self._on_output is not None:
+                self._on_output(k, output)
+
+    # Convenience passthroughs -----------------------------------------
+
+    @property
+    def outputs(self) -> list[tuple[Instance, History | None]]:
+        return self.core.outputs
+
+    @property
+    def proposals_made(self) -> dict[Instance, Value]:
+        return self.core.proposals_made

@@ -1,0 +1,108 @@
+"""The history datatype of Section 3.2.
+
+A history is a function ``h : N -> V ∪ {⊥}``.  An output produced for
+instance ``k`` is defined on instances ``1..k`` (the paper indexes
+instances from 1); we represent it sparsely as the mapping of instances to
+their *non-bottom* values plus the length ``k``.
+
+Histories are immutable and hashable so they can be collected, compared
+and deduplicated by the spec checkers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..types import BOTTOM, Instance, Value
+
+
+class History:
+    """An immutable CHA output history, defined on instances ``1..length``."""
+
+    __slots__ = ("length", "_entries", "_lookup", "_hash")
+
+    def __init__(self, length: Instance, entries: Mapping[Instance, Value]) -> None:
+        if length < 0:
+            raise ValueError("history length must be non-negative")
+        for k, v in entries.items():
+            if not 1 <= k <= length:
+                raise ValueError(f"history entry at instance {k} outside 1..{length}")
+            if v is BOTTOM:
+                raise ValueError("bottom values must be omitted, not stored")
+        self.length = length
+        self._entries: tuple[tuple[Instance, Value], ...] = tuple(
+            sorted(entries.items())
+        )
+        self._lookup = dict(self._entries)
+        self._hash = hash((self.length, self._entries))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __call__(self, k: Instance) -> Value:
+        """``h(k)``: the value at instance ``k``, or bottom."""
+        return self._lookup.get(k, BOTTOM)
+
+    def value_at(self, k: Instance) -> Value:
+        return self(k)
+
+    def includes(self, k: Instance) -> bool:
+        """The paper's "history ``h`` includes instance ``k``": h(k) != ⊥."""
+        return k in self._lookup
+
+    @property
+    def included_instances(self) -> tuple[Instance, ...]:
+        """Instances with non-bottom values, ascending."""
+        return tuple(k for k, _ in self._entries)
+
+    def items(self) -> Iterator[tuple[Instance, Value]]:
+        """(instance, value) pairs for the non-bottom entries, ascending."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        """Number of *included* (non-bottom) instances."""
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return self.length == other.length and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}:{v!r}" for k, v in self._entries)
+        return f"History(len={self.length}, {{{body}}})"
+
+    # ------------------------------------------------------------------
+    # Prefix algebra (used by the Agreement checker)
+    # ------------------------------------------------------------------
+
+    def prefix(self, k: Instance) -> "History":
+        """The restriction of this history to instances ``1..k``."""
+        k = min(k, self.length)
+        return History(k, {i: v for i, v in self._entries if i <= k})
+
+    def agrees_with(self, other: "History") -> bool:
+        """The Agreement relation: equal on ``1..min(length, other.length)``.
+
+        This is exactly the paper's requirement for a pair of outputs
+        ``h_{i,k1}`` and ``h_{j,k2}`` with ``k1 <= k2``.
+        """
+        cut = min(self.length, other.length)
+        return self.prefix(cut) == other.prefix(cut)
+
+    def extends(self, other: "History") -> bool:
+        """True when ``other`` is a prefix of this history."""
+        return self.length >= other.length and self.agrees_with(other)
+
+    def last_included(self) -> Instance | None:
+        """The largest included instance, or ``None`` if all-bottom."""
+        if not self._entries:
+            return None
+        return self._entries[-1][0]
+
+
+EMPTY_HISTORY = History(0, {})

@@ -1,0 +1,179 @@
+"""Executable specification of Convergent History Agreement (Section 3.2).
+
+Given the outputs and proposals of an execution, these checkers decide the
+three CHA requirements:
+
+* **Validity** — every value in every output history was proposed by some
+  node for the corresponding instance.
+* **Agreement** — every pair of non-bottom outputs agrees on the common
+  prefix of instances.
+* **Liveness** — some instance ``kst`` exists from which every node
+  outputs a history that includes every instance in ``[kst, k]``.
+
+Checkers raise :class:`~repro.errors.SpecViolation` with enough context to
+reproduce a failure; the liveness checker instead *finds* the convergence
+instance (or reports failure), since liveness over a finite prefix is a
+measurement rather than a pass/fail property.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import SpecViolation
+from ..types import BOTTOM, Instance, NodeId, Value
+from .history import History
+
+#: The per-node output sequence type: (instance, History or BOTTOM) pairs.
+OutputLog = Sequence[tuple[Instance, History | None]]
+
+
+def check_validity(outputs: Mapping[NodeId, OutputLog],
+                   proposals: Mapping[NodeId, Mapping[Instance, Value]]) -> None:
+    """Raise :class:`SpecViolation` on any non-proposed history value."""
+    proposed_at: dict[Instance, set[Value]] = {}
+    for node_proposals in proposals.values():
+        for k, v in node_proposals.items():
+            proposed_at.setdefault(k, set()).add(v)
+    for node, log in outputs.items():
+        for k, out in log:
+            if out is BOTTOM:
+                continue
+            for k_prime, value in out.items():
+                if value not in proposed_at.get(k_prime, ()):
+                    raise SpecViolation(
+                        f"validity: node {node}'s output at instance {k} "
+                        f"contains value {value!r} at instance {k_prime}, "
+                        "which no node proposed",
+                        context={"node": node, "instance": k,
+                                 "at": k_prime, "value": value},
+                    )
+
+
+def check_agreement(outputs: Mapping[NodeId, OutputLog], *,
+                    exhaustive: bool = False) -> None:
+    """Raise :class:`SpecViolation` on any common-prefix disagreement.
+
+    The default check compares every history against a maximal-instance
+    witness, which is equivalent to the pairwise condition because the
+    agreement relation is "equality on the shorter prefix" and every
+    history is compared on *its own* full domain against the witness.
+    ``exhaustive=True`` performs the O(m²) pairwise comparison (useful in
+    unit tests of the checker itself).
+    """
+    histories: list[tuple[NodeId, Instance, History]] = []
+    for node, log in outputs.items():
+        for k, out in log:
+            if out is not BOTTOM:
+                if out.length != k:
+                    raise SpecViolation(
+                        f"agreement: node {node} output a history of length "
+                        f"{out.length} for instance {k}",
+                        context={"node": node, "instance": k},
+                    )
+                histories.append((node, k, out))
+    if not histories:
+        return
+
+    def _fail(a, b) -> None:
+        (node_a, k_a, h_a), (node_b, k_b, h_b) = a, b
+        cut = min(k_a, k_b)
+        diverging = [
+            k for k in range(1, cut + 1) if h_a(k) != h_b(k)
+        ]
+        raise SpecViolation(
+            f"agreement: node {node_a}'s output at instance {k_a} and node "
+            f"{node_b}'s output at instance {k_b} differ at instances "
+            f"{diverging[:5]}",
+            context={"a": (node_a, k_a), "b": (node_b, k_b),
+                     "diverging": diverging},
+        )
+
+    if exhaustive:
+        for i in range(len(histories)):
+            for j in range(i + 1, len(histories)):
+                if not histories[i][2].agrees_with(histories[j][2]):
+                    _fail(histories[i], histories[j])
+        return
+
+    witness = max(histories, key=lambda item: item[1])
+    for item in histories:
+        if not item[2].agrees_with(witness[2]):
+            _fail(item, witness)
+
+
+def find_liveness_point(outputs: Mapping[NodeId, OutputLog],
+                        *, alive: Sequence[NodeId] | None = None) -> Instance | None:
+    """The smallest ``kst`` witnessing Liveness over this finite execution.
+
+    Only nodes in ``alive`` (default: all nodes in ``outputs``) are
+    required to satisfy the property — crashed nodes are exempt, per the
+    problem statement's "non-failed node" qualifier.  Returns ``None``
+    when no suffix of the execution satisfies Liveness.
+    """
+    nodes = list(alive if alive is not None else outputs.keys())
+    if not nodes:
+        return None
+    per_node: dict[NodeId, dict[Instance, History | None]] = {
+        node: dict(outputs[node]) for node in nodes
+    }
+    last_instance = min(
+        (max(log) if (log := per_node[node]) else 0) for node in nodes
+    )
+    if last_instance == 0:
+        return None
+
+    # kst works iff for every k in [kst, last]: every node output a
+    # non-bottom history at k that includes every instance in [kst, k].
+    def works(kst: Instance) -> bool:
+        for node in nodes:
+            for k in range(kst, last_instance + 1):
+                out = per_node[node].get(k, BOTTOM)
+                if out is BOTTOM:
+                    return False
+                if any(not out.includes(k2) for k2 in range(kst, k + 1)):
+                    return False
+        return True
+
+    # Scan from the smallest candidate upward; the property is monotone in
+    # practice but not by definition (a bottom at instance j only blocks
+    # kst <= j), so we simply test candidates in order.
+    for kst in range(1, last_instance + 1):
+        if works(kst):
+            return kst
+    return None
+
+
+def check_liveness(outputs: Mapping[NodeId, OutputLog],
+                   *, by_instance: Instance,
+                   alive: Sequence[NodeId] | None = None) -> Instance:
+    """Assert that Liveness holds with ``kst <= by_instance``.
+
+    Returns the discovered ``kst``.  Raises :class:`SpecViolation` if the
+    execution never converges, or converges later than demanded.
+    """
+    kst = find_liveness_point(outputs, alive=alive)
+    if kst is None:
+        raise SpecViolation(
+            "liveness: no convergence instance exists in this execution",
+            context={"by_instance": by_instance},
+        )
+    if kst > by_instance:
+        raise SpecViolation(
+            f"liveness: convergence at instance {kst}, later than the "
+            f"required {by_instance}",
+            context={"kst": kst, "by_instance": by_instance},
+        )
+    return kst
+
+
+def check_all(outputs: Mapping[NodeId, OutputLog],
+              proposals: Mapping[NodeId, Mapping[Instance, Value]],
+              *, liveness_by: Instance | None = None,
+              alive: Sequence[NodeId] | None = None) -> Instance | None:
+    """Run Validity + Agreement (+ Liveness when ``liveness_by`` given)."""
+    check_validity(outputs, proposals)
+    check_agreement(outputs)
+    if liveness_by is not None:
+        return check_liveness(outputs, by_instance=liveness_by, alive=alive)
+    return None

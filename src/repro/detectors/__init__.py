@@ -1,0 +1,13 @@
+"""Collision detectors (Properties 1-2 of the paper)."""
+
+from .base import CollisionDetector
+from .ac_eventually import EventuallyAccurateDetector
+from .complete_only import CompleteOnlyDetector
+from .perfect import PerfectDetector
+
+__all__ = [
+    "CollisionDetector",
+    "EventuallyAccurateDetector",
+    "CompleteOnlyDetector",
+    "PerfectDetector",
+]

@@ -1,0 +1,29 @@
+"""The paper's detector: complete and *eventually* accurate (class ◇AC)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..net.channel import Reception
+from ..types import NodeId, Round
+from .base import CollisionDetector
+
+
+class EventuallyAccurateDetector(CollisionDetector):
+    """Complete always; accurate from round ``racc`` onward.
+
+    Reports a collision whenever a message broadcast within ``R2`` was
+    lost (this is both complete — R1 losses are R2 losses — and accurate),
+    and additionally honours adversarial false positives strictly before
+    ``racc``.
+    """
+
+    def __init__(self, *, racc: Round = 0) -> None:
+        if racc < 0:
+            raise ConfigurationError("racc must be non-negative")
+        self.racc = racc
+
+    def indicate(self, r: Round, node: NodeId, reception: Reception,
+                 spurious: bool) -> bool:
+        if reception.lost_within_r2:
+            return True
+        return spurious and r < self.racc

@@ -1,0 +1,45 @@
+"""Collision-detector interface.
+
+The paper assumes detectors in class ◇AC (eventually accurate, complete)
+as defined in Chockler et al., PODC 2005:
+
+* **Completeness (Property 1)** — if a node misses a message broadcast
+  within ``R1`` of it, it must report a collision that round.
+* **Eventual accuracy (Property 2)** — from some round ``racc`` on, a
+  collision is reported only when a message broadcast within ``R2`` was
+  actually lost.
+
+The channel supplies ground truth (:class:`repro.net.channel.Reception`);
+the environment's adversary supplies spurious-collision requests; a
+detector combines them into the single ``±`` flag the protocol sees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..net.channel import Reception
+from ..types import NodeId, Round
+
+
+class CollisionDetector(ABC):
+    """Turns channel ground truth into the per-node collision flag."""
+
+    @abstractmethod
+    def indicate(self, r: Round, node: NodeId, reception: Reception,
+                 spurious: bool) -> bool:
+        """The ``±`` flag delivered to ``node`` in round ``r``.
+
+        ``spurious`` is the adversary's request to inject a false positive;
+        whether the detector honours it depends on the class of detector
+        (an always-accurate detector never does, a ◇AC detector does only
+        before its accuracy round).
+        """
+
+    def is_complete_for(self, reception: Reception, flag: bool) -> bool:
+        """Check Property 1 against a single observation (for validators)."""
+        return flag or not reception.lost_within_r1
+
+    def is_accurate_for(self, reception: Reception, flag: bool) -> bool:
+        """Check the Property 2 implication for a single observation."""
+        return (not flag) or reception.lost_within_r2

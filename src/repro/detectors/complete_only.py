@@ -1,0 +1,35 @@
+"""A complete but never-accurate detector, for ablation A2.
+
+The paper (and [8] before it) shows that completeness alone is not enough
+for efficient agreement: persistent false positives starve the protocol of
+green instances.  This detector keeps emitting seeded false positives
+forever, so liveness experiments can demonstrate exactly that stall while
+safety (which never relies on accuracy) survives.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+from ..net.channel import Reception
+from ..types import NodeId, Round
+from .base import CollisionDetector
+
+
+class CompleteOnlyDetector(CollisionDetector):
+    """Complete, with i.i.d. persistent false positives of rate ``p_false``."""
+
+    def __init__(self, *, p_false: float, seed: int = 0) -> None:
+        if not 0.0 <= p_false <= 1.0:
+            raise ConfigurationError("p_false must lie in [0, 1]")
+        self.p_false = p_false
+        self._seed = seed
+
+    def indicate(self, r: Round, node: NodeId, reception: Reception,
+                 spurious: bool) -> bool:
+        if reception.lost_within_r1:
+            return True
+        # Deterministic per (round, node) false-positive stream.
+        rng = random.Random(hash((self._seed, r, node)))
+        return rng.random() < self.p_false

@@ -1,0 +1,19 @@
+"""An always-accurate, complete detector (stronger than the paper needs).
+
+Used as the idealised baseline in ablation A2 and in unit tests that want
+collision indications to coincide exactly with genuine in-range loss.
+"""
+
+from __future__ import annotations
+
+from ..net.channel import Reception
+from ..types import NodeId, Round
+from .base import CollisionDetector
+
+
+class PerfectDetector(CollisionDetector):
+    """Reports exactly the losses of messages broadcast within ``R1``."""
+
+    def indicate(self, r: Round, node: NodeId, reception: Reception,
+                 spurious: bool) -> bool:
+        return reception.lost_within_r1

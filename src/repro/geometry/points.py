@@ -1,0 +1,98 @@
+"""Plane geometry primitives.
+
+The paper's model places nodes in the Euclidean plane with a bounded
+maximum velocity ``vmax`` and two radii: the broadcast radius ``R1`` and
+the interference radius ``R2 >= R1`` (quasi-unit-disk model).  Everything
+downstream only needs points, distances and straight-line motion, which we
+keep dependency-free and exact enough for deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point (or displacement vector) in the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def within(self, other: "Point", radius: float) -> bool:
+        """True when ``other`` lies within ``radius`` of this point.
+
+        Uses squared distances so that membership tests are exact for the
+        integer/rational coordinates the test-suite favours.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy <= radius * radius
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """This point treated as a vector, scaled by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def norm(self) -> float:
+        """Euclidean norm of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def unit(self) -> "Point":
+        """Unit vector in this direction (zero vector maps to itself)."""
+        n = self.norm()
+        if n == 0.0:
+            return Point(0.0, 0.0)
+        return Point(self.x / n, self.y / n)
+
+    def moved_toward(self, target: "Point", step: float) -> "Point":
+        """The point reached by moving ``step`` toward ``target``.
+
+        Never overshoots: if ``target`` is closer than ``step`` the result
+        is exactly ``target``.  This is the primitive used by the mobility
+        models to honour the ``vmax`` bound of the system model.
+        """
+        gap = self.distance_to(target)
+        if gap <= step:
+            return target
+        return self + (target - self).unit().scaled(step)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point collection is undefined")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))
+
+
+def pairwise_distances(points: Iterable[Point]) -> Iterator[float]:
+    """Yield the distance of every unordered pair of distinct indices."""
+    pts = list(points)
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            yield pts[i].distance_to(pts[j])
+
+
+def max_pairwise_distance(points: Iterable[Point]) -> float:
+    """Diameter of a point set (0.0 for fewer than two points)."""
+    return max(pairwise_distances(points), default=0.0)

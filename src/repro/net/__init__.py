@@ -1,0 +1,52 @@
+"""Radio-network substrate: the slotted collision-prone channel model."""
+
+from .adversary import (
+    Adversary,
+    ComposedAdversary,
+    NoAdversary,
+    PartitionAdversary,
+    RandomLossAdversary,
+    ScriptedAdversary,
+)
+from .channel import Channel, RadioSpec, Reception
+from .location import LocationService
+from .messages import Message, wire_size
+from .mobility import (
+    LinearMobility,
+    MobilityModel,
+    OrbitMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+    WaypointMobility,
+)
+from .node import Crash, CrashPoint, CrashSchedule, Process
+from .simulator import Simulator
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "Adversary",
+    "Channel",
+    "ComposedAdversary",
+    "Crash",
+    "CrashPoint",
+    "CrashSchedule",
+    "LinearMobility",
+    "LocationService",
+    "Message",
+    "MobilityModel",
+    "NoAdversary",
+    "OrbitMobility",
+    "PartitionAdversary",
+    "Process",
+    "RadioSpec",
+    "RandomLossAdversary",
+    "RandomWaypointMobility",
+    "Reception",
+    "RoundRecord",
+    "ScriptedAdversary",
+    "Simulator",
+    "StaticMobility",
+    "Trace",
+    "WaypointMobility",
+    "wire_size",
+]

@@ -1,0 +1,179 @@
+"""Channel adversaries: pre-stabilisation message loss and false collisions.
+
+Section 2 of the paper allows collisions "for arbitrary and unpredictable
+reasons" before the stabilisation round ``rcf``; after ``rcf`` only channel
+contention loses messages.  Independently, the collision detector may emit
+false positives before its own accuracy round ``racc`` (Property 2).
+
+The adversary owns both knobs:
+
+* :meth:`Adversary.drops` — which tentative deliveries to destroy in a
+  round (exercised only while ``r < rcf``; the channel enforces this).
+* :meth:`Adversary.false_collision` — whether to inject a spurious
+  collision indication at a node (exercised only while ``r < racc``; the
+  detector enforces this).
+
+Adversaries see sender ids and full delivery maps: the adversary is part
+of the *environment*, not of the anonymous protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping
+
+from ..types import NodeId, Round
+from .messages import Message
+
+
+class Adversary(ABC):
+    """Decides message drops and spurious collision indications."""
+
+    @abstractmethod
+    def drops(self, r: Round,
+              tentative: Mapping[NodeId, tuple[Message, ...]]) -> dict[NodeId, frozenset[NodeId]]:
+        """Senders whose message each receiver should lose in round ``r``.
+
+        ``tentative`` maps each receiver to the messages the physical
+        channel would deliver absent adversarial interference.  The return
+        value maps receiver ids to the set of *sender* ids to suppress.
+        Receivers absent from the result lose nothing.
+        """
+
+    @abstractmethod
+    def false_collision(self, r: Round, node: NodeId) -> bool:
+        """Whether to inject a spurious collision indication at ``node``."""
+
+
+class NoAdversary(Adversary):
+    """The benign environment: no drops, no false collisions."""
+
+    def drops(self, r, tentative):  # noqa: D102 - interface documented above
+        return {}
+
+    def false_collision(self, r, node):  # noqa: D102
+        return False
+
+
+class RandomLossAdversary(Adversary):
+    """Seeded i.i.d. loss: each (receiver, message) pair drops with ``p_drop``.
+
+    Each dropped delivery is also a candidate false-collision trigger; in
+    addition, ``p_false`` injects collision indications out of thin air to
+    stress eventual accuracy.
+    """
+
+    def __init__(self, *, p_drop: float, p_false: float = 0.0, seed: int = 0) -> None:
+        if not (0.0 <= p_drop <= 1.0 and 0.0 <= p_false <= 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._p_drop = p_drop
+        self._p_false = p_false
+        self._rng = random.Random(seed)
+        # Independent stream for false collisions so that drop decisions do
+        # not perturb false-collision decisions across configurations.
+        self._rng_false = random.Random(seed ^ 0x5F5E_100)
+
+    def drops(self, r, tentative):
+        out: dict[NodeId, frozenset[NodeId]] = {}
+        for receiver in sorted(tentative):
+            doomed = frozenset(
+                msg.sender
+                for msg in tentative[receiver]
+                if self._rng.random() < self._p_drop
+            )
+            if doomed:
+                out[receiver] = doomed
+        return out
+
+    def false_collision(self, r, node):
+        return self._rng_false.random() < self._p_false
+
+
+class ScriptedAdversary(Adversary):
+    """Fully scripted interference for targeted tests.
+
+    ``drop_script`` maps ``(round, receiver)`` to either the string
+    ``"all"`` (lose everything) or an iterable of sender ids to lose.
+    ``false_script`` is a set of ``(round, node)`` pairs at which a
+    spurious collision indication fires.
+    """
+
+    ALL = "all"
+
+    def __init__(self,
+                 drop_script: Mapping[tuple[Round, NodeId], object] | None = None,
+                 false_script: Iterable[tuple[Round, NodeId]] | None = None) -> None:
+        self._drop_script = dict(drop_script or {})
+        self._false_script = set(false_script or ())
+
+    def drops(self, r, tentative):
+        out: dict[NodeId, frozenset[NodeId]] = {}
+        for receiver, msgs in tentative.items():
+            directive = self._drop_script.get((r, receiver))
+            if directive is None:
+                continue
+            if directive == self.ALL:
+                out[receiver] = frozenset(m.sender for m in msgs)
+            else:
+                wanted = frozenset(directive)  # type: ignore[arg-type]
+                out[receiver] = frozenset(
+                    m.sender for m in msgs if m.sender in wanted
+                )
+        return out
+
+    def false_collision(self, r, node):
+        return (r, node) in self._false_script
+
+
+class PartitionAdversary(Adversary):
+    """Splits the nodes into groups that cannot hear each other.
+
+    While ``r < until_round``, a message crossing group boundaries is
+    dropped.  This reproduces the footnote-2 scenario of the paper: two
+    replicas that temporarily cannot exchange messages, one of which may
+    decide and crash.
+    """
+
+    def __init__(self, groups: Iterable[Iterable[NodeId]], *, until_round: Round) -> None:
+        self._group_of: dict[NodeId, int] = {}
+        for idx, group in enumerate(groups):
+            for node in group:
+                if node in self._group_of:
+                    raise ValueError(f"node {node} appears in two partition groups")
+                self._group_of[node] = idx
+        self._until = until_round
+
+    def drops(self, r, tentative):
+        if r >= self._until:
+            return {}
+        out: dict[NodeId, frozenset[NodeId]] = {}
+        for receiver, msgs in tentative.items():
+            rg = self._group_of.get(receiver)
+            doomed = frozenset(
+                m.sender for m in msgs
+                if self._group_of.get(m.sender) != rg
+            )
+            if doomed:
+                out[receiver] = doomed
+        return out
+
+    def false_collision(self, r, node):
+        return False
+
+
+class ComposedAdversary(Adversary):
+    """Union of several adversaries: drops and false collisions combine."""
+
+    def __init__(self, *parts: Adversary) -> None:
+        self._parts = parts
+
+    def drops(self, r, tentative):
+        out: dict[NodeId, frozenset[NodeId]] = {}
+        for part in self._parts:
+            for receiver, senders in part.drops(r, tentative).items():
+                out[receiver] = out.get(receiver, frozenset()) | senders
+        return out
+
+    def false_collision(self, r, node):
+        return any(part.false_collision(r, node) for part in self._parts)

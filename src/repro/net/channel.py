@@ -1,0 +1,133 @@
+"""The quasi-unit-disk, collision-prone broadcast channel of Section 2.
+
+Reception rule (paper, Section 2): *after* the channel-stabilisation round
+``rcf``, if ``pi`` broadcasts ``m`` in round ``r`` then a non-failed ``pj``
+within distance ``R1`` of ``pi`` receives ``m`` provided no other node
+within distance ``R2`` of ``pj`` broadcasts in round ``r``.  Before
+``rcf`` the adversary may additionally drop any subset of deliveries.
+
+Conventions this implementation fixes (documented in DESIGN.md §5):
+
+* A broadcaster "receives" its own message (it knows what it sent) and
+  never receives anyone else's in the same slot — it is busy transmitting,
+  and any concurrent in-range transmission counts as contention at it.
+* Contention is counted per *receiver*: two concurrent broadcasters within
+  ``R2`` of a receiver destroy each other's messages at that receiver.
+
+For the collision detector the channel also reports ground truth per
+receiver: whether some message broadcast within ``R1`` was lost
+(:class:`Reception.lost_within_r1`, the completeness trigger of Property
+1) and whether some message broadcast within ``R2`` was lost
+(:class:`Reception.lost_within_r2`, the accuracy licence of Property 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..geometry import Point
+from ..types import NodeId, Round
+from .adversary import Adversary, NoAdversary
+from .messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class Reception:
+    """What one node experienced on the channel in one round."""
+
+    #: Messages actually delivered, ordered by sender id for determinism.
+    messages: tuple[Message, ...]
+    #: True when a message broadcast within R1 of this node was lost.
+    lost_within_r1: bool
+    #: True when a message broadcast within R2 of this node was lost.
+    lost_within_r2: bool
+
+
+@dataclass(frozen=True)
+class RadioSpec:
+    """Radii and stabilisation round of the physical channel."""
+
+    r1: float
+    r2: float
+    #: First round from which only contention causes loss (the paper's rcf).
+    rcf: Round = 0
+
+    def __post_init__(self) -> None:
+        if self.r1 <= 0:
+            raise ConfigurationError(f"R1 must be positive, got {self.r1}")
+        if self.r2 < self.r1:
+            raise ConfigurationError(
+                f"R2 must be at least R1 (quasi-unit disk), got R1={self.r1}, R2={self.r2}"
+            )
+        if self.rcf < 0:
+            raise ConfigurationError("rcf must be non-negative")
+
+
+class Channel:
+    """Computes per-receiver deliveries for one synchronous round."""
+
+    def __init__(self, spec: RadioSpec, adversary: Adversary | None = None) -> None:
+        self.spec = spec
+        self.adversary = adversary if adversary is not None else NoAdversary()
+
+    def deliver(self, r: Round,
+                positions: Mapping[NodeId, Point],
+                broadcasts: Mapping[NodeId, Message]) -> dict[NodeId, Reception]:
+        """Resolve one round of the channel.
+
+        ``positions`` covers every *alive* node (listeners and
+        broadcasters); ``broadcasts`` maps broadcasting node ids to their
+        messages.  Returns a :class:`Reception` for every node in
+        ``positions``.
+        """
+        senders = sorted(broadcasts)
+        for s in senders:
+            if s not in positions:
+                raise ConfigurationError(f"broadcaster {s} has no position")
+
+        # Physical-layer tentative deliveries (contention rule).
+        tentative: dict[NodeId, tuple[Message, ...]] = {}
+        in_r1: dict[NodeId, list[NodeId]] = {}
+        in_r2: dict[NodeId, list[NodeId]] = {}
+        for receiver, where in positions.items():
+            r1_senders = [
+                s for s in senders
+                if s != receiver and positions[s].within(where, self.spec.r1)
+            ]
+            r2_senders = [
+                s for s in senders
+                if s != receiver and positions[s].within(where, self.spec.r2)
+            ]
+            in_r1[receiver] = r1_senders
+            in_r2[receiver] = r2_senders
+            if receiver in broadcasts:
+                # Transmitting: hears only itself.
+                tentative[receiver] = (broadcasts[receiver],)
+            elif len(r2_senders) <= 1:
+                tentative[receiver] = tuple(broadcasts[s] for s in r1_senders)
+            else:
+                # Contention within R2: everything is destroyed here.
+                tentative[receiver] = ()
+
+        # Adversarial drops are only permitted before channel stabilisation.
+        dropped: dict[NodeId, frozenset[NodeId]] = {}
+        if r < self.spec.rcf:
+            dropped = self.adversary.drops(r, tentative)
+
+        receptions: dict[NodeId, Reception] = {}
+        for receiver in positions:
+            doomed = dropped.get(receiver, frozenset())
+            delivered = tuple(
+                m for m in tentative[receiver] if m.sender not in doomed
+            )
+            got = {m.sender for m in delivered}
+            missing_r1 = [s for s in in_r1[receiver] if s not in got]
+            missing_r2 = [s for s in in_r2[receiver] if s not in got]
+            receptions[receiver] = Reception(
+                messages=delivered,
+                lost_within_r1=bool(missing_r1),
+                lost_within_r2=bool(missing_r2),
+            )
+        return receptions

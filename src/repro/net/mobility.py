@@ -1,0 +1,171 @@
+"""Mobility models for the mobile nodes.
+
+The system model (Section 2) lets nodes move arbitrarily subject to a
+maximum velocity ``vmax`` (distance units per round).  Each node owns one
+mobility-model instance; the simulator advances all models by one round at
+the start of every slot and reads back positions.
+
+All models are deterministic given their constructor arguments (random
+models take an explicit seed), so entire executions replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..geometry import Point
+from ..types import Round
+
+
+class MobilityModel(ABC):
+    """Produces one position per round for a single node."""
+
+    @abstractmethod
+    def position_at(self, r: Round) -> Point:
+        """Position of the node at the start of round ``r``."""
+
+    def max_speed(self) -> float:
+        """Upper bound on per-round displacement (``vmax`` contribution).
+
+        Models override this when they can promise a tighter bound; the
+        default is conservative and only used by diagnostics.
+        """
+        return float("inf")
+
+
+class StaticMobility(MobilityModel):
+    """A node that never moves (the Section 3 setting)."""
+
+    def __init__(self, position: Point) -> None:
+        self._position = position
+
+    def position_at(self, r: Round) -> Point:
+        return self._position
+
+    def max_speed(self) -> float:
+        return 0.0
+
+
+class LinearMobility(MobilityModel):
+    """Constant-velocity straight-line motion.
+
+    Used to model nodes drifting out of a virtual node's region at bounded
+    speed, the scenario behind the "temporary leader" analysis of §4.2.
+    """
+
+    def __init__(self, start: Point, velocity: Point) -> None:
+        self._start = start
+        self._velocity = velocity
+
+    def position_at(self, r: Round) -> Point:
+        return self._start + self._velocity.scaled(float(r))
+
+    def max_speed(self) -> float:
+        return self._velocity.norm()
+
+
+class WaypointMobility(MobilityModel):
+    """Piecewise motion through an explicit list of waypoints.
+
+    The node moves toward each waypoint in turn at ``speed`` per round and
+    parks at the final waypoint.  Positions are computed eagerly once and
+    cached, keeping ``position_at`` pure.
+    """
+
+    def __init__(self, start: Point, waypoints: Sequence[Point], speed: float,
+                 horizon: int = 100_000) -> None:
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        self._speed = speed
+        self._positions: list[Point] = [start]
+        pending = list(waypoints)
+        pos = start
+        while pending and len(self._positions) < horizon:
+            target = pending[0]
+            pos = pos.moved_toward(target, speed)
+            if pos == target:
+                pending.pop(0)
+            self._positions.append(pos)
+
+    def position_at(self, r: Round) -> Point:
+        if r < len(self._positions):
+            return self._positions[r]
+        return self._positions[-1]
+
+    def max_speed(self) -> float:
+        return self._speed
+
+
+class RandomWaypointMobility(MobilityModel):
+    """The classic random-waypoint model inside a rectangular arena.
+
+    The node repeatedly picks a uniform random destination in the arena
+    and walks toward it at ``speed`` per round.  Deterministic given the
+    seed; positions are generated lazily and memoised.
+    """
+
+    def __init__(self, start: Point, *, arena: tuple[float, float, float, float],
+                 speed: float, seed: int) -> None:
+        x_lo, y_lo, x_hi, y_hi = arena
+        if x_hi <= x_lo or y_hi <= y_lo:
+            raise ValueError("arena must have positive width and height")
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        self._arena = arena
+        self._speed = speed
+        self._rng = random.Random(seed)
+        self._positions: list[Point] = [start]
+        self._target = self._pick_target()
+
+    def _pick_target(self) -> Point:
+        x_lo, y_lo, x_hi, y_hi = self._arena
+        return Point(self._rng.uniform(x_lo, x_hi), self._rng.uniform(y_lo, y_hi))
+
+    def position_at(self, r: Round) -> Point:
+        while len(self._positions) <= r:
+            pos = self._positions[-1].moved_toward(self._target, self._speed)
+            if pos == self._target:
+                self._target = self._pick_target()
+            self._positions.append(pos)
+        return self._positions[r]
+
+    def max_speed(self) -> float:
+        return self._speed
+
+
+class OrbitMobility(MobilityModel):
+    """Motion around a fixed anchor along a square orbit of given radius.
+
+    The node walks the perimeter of an axis-aligned square centred on
+    ``anchor`` at ``speed`` per round, wrapping forever.  Handy for keeping
+    a node *near* a virtual-node location while still exercising position
+    updates every round.
+    """
+
+    def __init__(self, anchor: Point, radius: float, speed: float) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        self._corners = [
+            anchor + Point(radius, radius),
+            anchor + Point(-radius, radius),
+            anchor + Point(-radius, -radius),
+            anchor + Point(radius, -radius),
+        ]
+        self._side = 2.0 * radius
+        self._perimeter = 4.0 * self._side
+        self._speed = speed
+
+    def position_at(self, r: Round) -> Point:
+        travelled = (self._speed * r) % self._perimeter if self._speed else 0.0
+        edge = int(travelled // self._side) % 4
+        along = travelled - edge * self._side
+        start = self._corners[edge]
+        end = self._corners[(edge + 1) % 4]
+        return start.moved_toward(end, along)
+
+    def max_speed(self) -> float:
+        return self._speed

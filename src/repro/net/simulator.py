@@ -1,0 +1,211 @@
+"""The synchronous ("slotted") round engine.
+
+One :meth:`Simulator.step` executes one communication round of the model
+in Section 2, in this order:
+
+1. **Mobility & liveness** — positions of every *present* node (started,
+   not yet fully crashed) are read from its mobility model, and the
+   location service takes its periodic snapshot.
+2. **Contention** — each node that still executes its send step names the
+   contention manager it contends for; each manager issues advice, which
+   the simulator clips to actual contenders (Property 3(3)).
+3. **Send** — each sending node returns a payload or ``None``.  A node
+   crashing ``AFTER_SEND`` this round still broadcasts (the footnote-2
+   decide-and-die scenario); one crashing ``BEFORE_SEND`` is already gone.
+4. **Channel** — the quasi-unit-disk channel resolves deliveries, with
+   adversarial drops allowed only before ``rcf``.
+5. **Detect & deliver** — each receiving node gets its messages and the
+   collision flag computed by the configured detector (spurious-collision
+   requests come from the adversary and are honoured only before the
+   detector's accuracy round).
+6. **Feedback** — contention managers observe whether their advisees'
+   broadcasts suffered contention, so back-off managers can adapt.
+
+All sources of nondeterminism (mobility, adversary, contention) are owned
+by seeded components, so a run is a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..detectors import CollisionDetector, EventuallyAccurateDetector
+from ..contention import ContentionManager
+from ..errors import ConfigurationError, SimulationError
+from ..geometry import Point
+from ..types import NodeId, Round
+from .adversary import Adversary, NoAdversary
+from .channel import Channel, RadioSpec, Reception
+from .location import LocationService
+from .messages import Message
+from .mobility import MobilityModel, StaticMobility
+from .node import CrashSchedule, Process
+from .trace import RoundRecord, Trace
+
+
+@dataclass
+class _NodeEntry:
+    process: Process
+    mobility: MobilityModel
+    start_round: Round
+
+
+class Simulator:
+    """Drives a set of processes over the collision-prone channel."""
+
+    def __init__(self, *, spec: RadioSpec,
+                 adversary: Adversary | None = None,
+                 detector: CollisionDetector | None = None,
+                 cms: dict[str, ContentionManager] | None = None,
+                 crashes: CrashSchedule | None = None,
+                 location_update_period: int = 1) -> None:
+        self.spec = spec
+        self.adversary = adversary if adversary is not None else NoAdversary()
+        self.channel = Channel(spec, self.adversary)
+        self.detector = detector if detector is not None else EventuallyAccurateDetector()
+        self.cms: dict[str, ContentionManager] = dict(cms or {})
+        self.crashes = crashes if crashes is not None else CrashSchedule()
+        self.locations = LocationService(update_period=location_update_period)
+        self.trace = Trace()
+        self._nodes: dict[NodeId, _NodeEntry] = {}
+        self._round: Round = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def add_node(self, process: Process,
+                 mobility: MobilityModel | Point,
+                 *, start_round: Round = 0) -> NodeId:
+        """Register a process; returns its simulator-assigned node id.
+
+        ``mobility`` may be a bare :class:`Point` as shorthand for a static
+        node at that position.  ``start_round`` models a device that powers
+        on late (it neither transmits, receives, nor interferes earlier).
+        """
+        if start_round < 0:
+            raise ConfigurationError("start_round must be non-negative")
+        if isinstance(mobility, Point):
+            mobility = StaticMobility(mobility)
+        node_id = len(self._nodes)
+        self._nodes[node_id] = _NodeEntry(process, mobility, start_round)
+        return node_id
+
+    def add_cm(self, name: str, cm: ContentionManager) -> None:
+        if name in self.cms:
+            raise ConfigurationError(f"contention manager {name!r} already registered")
+        self.cms[name] = cm
+
+    @property
+    def current_round(self) -> Round:
+        return self._round
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return sorted(self._nodes)
+
+    def process_of(self, node_id: NodeId) -> Process:
+        return self._nodes[node_id].process
+
+    def alive(self, node_id: NodeId, r: Round | None = None) -> bool:
+        """Present in the network at round ``r`` (default: current round)."""
+        r = self._round if r is None else r
+        entry = self._nodes[node_id]
+        return entry.start_round <= r and not self.crashes.crashed_by(node_id, r)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> RoundRecord:
+        """Execute one synchronous round and append it to the trace."""
+        r = self._round
+        present = [
+            node for node in sorted(self._nodes)
+            if self.alive(node, r)
+        ]
+        positions: dict[NodeId, Point] = {
+            node: self._nodes[node].mobility.position_at(r) for node in present
+        }
+        self.locations.observe(r, positions)
+
+        # -- contention ------------------------------------------------
+        contenders: dict[str, list[NodeId]] = {}
+        contended_for: dict[NodeId, str] = {}
+        for node in present:
+            if not self.crashes.sends_in(node, r):
+                continue
+            cm_name = self._nodes[node].process.contend(r)
+            if cm_name is None:
+                continue
+            if cm_name not in self.cms:
+                raise SimulationError(
+                    f"node {node} contended for unknown manager {cm_name!r}"
+                )
+            contenders.setdefault(cm_name, []).append(node)
+            contended_for[node] = cm_name
+
+        advice: dict[str, frozenset[NodeId]] = {}
+        advised: set[NodeId] = set()
+        for cm_name, nodes in sorted(contenders.items()):
+            granted = self.cms[cm_name].advise(r, nodes) & frozenset(nodes)
+            advice[cm_name] = granted
+            advised.update(granted)
+
+        # -- send --------------------------------------------------------
+        broadcasts: dict[NodeId, Message] = {}
+        for node in present:
+            if not self.crashes.sends_in(node, r):
+                continue
+            payload = self._nodes[node].process.send(r, node in advised)
+            if payload is not None:
+                broadcasts[node] = Message(node, payload)
+
+        # -- channel -----------------------------------------------------
+        receptions = self.channel.deliver(r, positions, broadcasts)
+
+        # -- detect & deliver ---------------------------------------------
+        flags: dict[NodeId, bool] = {}
+        delivered: dict[NodeId, tuple[Message, ...]] = {}
+        for node in present:
+            if not self.crashes.receives_in(node, r):
+                continue
+            reception = receptions[node]
+            spurious = self.adversary.false_collision(r, node)
+            flag = self.detector.indicate(r, node, reception, spurious)
+            flags[node] = flag
+            delivered[node] = reception.messages
+            self._nodes[node].process.deliver(r, reception.messages, flag)
+
+        # -- contention feedback ------------------------------------------
+        for cm_name, nodes in sorted(contenders.items()):
+            collided = any(flags.get(node, False) for node in nodes)
+            self.cms[cm_name].feedback(
+                r, active=advice[cm_name], collided=collided
+            )
+
+        crashed_now = frozenset(
+            node for node in sorted(self._nodes)
+            if self.alive(node, r) != self.alive(node, r + 1)
+            and self._nodes[node].start_round <= r
+        )
+        record = RoundRecord(
+            round=r,
+            positions=positions,
+            broadcasts=broadcasts,
+            receptions=delivered,
+            collisions=flags,
+            advised_active=frozenset(advised),
+            crashed=crashed_now,
+        )
+        self.trace.append(record)
+        self._round += 1
+        return record
+
+    def run(self, rounds: int) -> Trace:
+        """Execute ``rounds`` rounds and return the accumulated trace."""
+        if rounds < 0:
+            raise ConfigurationError("rounds must be non-negative")
+        for _ in range(rounds):
+            self.step()
+        return self.trace

@@ -1,0 +1,96 @@
+"""Structured execution traces.
+
+Every simulator run records one :class:`RoundRecord` per round.  The
+analysis layer (metrics, invariant checkers, benchmark tables) consumes
+traces rather than poking protocol internals, so that an experiment is
+always "run a simulation, then analyse its trace".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..geometry import Point
+from ..types import NodeId, Round
+from .messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """Everything that happened on the channel in one round."""
+
+    round: Round
+    #: Positions of alive nodes at the start of the round.
+    positions: Mapping[NodeId, Point]
+    #: Broadcasts that physically went out (post-crash filtering).
+    broadcasts: Mapping[NodeId, Message]
+    #: Messages each alive node received.
+    receptions: Mapping[NodeId, tuple[Message, ...]]
+    #: Collision flags handed to each alive node by its detector.
+    collisions: Mapping[NodeId, bool]
+    #: Nodes advised active by any contention manager this round.
+    advised_active: frozenset[NodeId]
+    #: Nodes that crashed during this round.
+    crashed: frozenset[NodeId]
+
+
+class Trace:
+    """An append-only list of round records plus convenience metrics."""
+
+    def __init__(self) -> None:
+        self._records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        expected = len(self._records)
+        if record.round != expected:
+            raise ValueError(
+                f"trace expected round {expected}, got {record.round}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, r: Round) -> RoundRecord:
+        return self._records[r]
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+
+    def total_broadcasts(self) -> int:
+        """Number of physical broadcasts over the whole execution."""
+        return sum(len(rec.broadcasts) for rec in self._records)
+
+    def message_sizes(self) -> list[int]:
+        """Wire sizes of every broadcast message, in round order."""
+        return [
+            msg.size
+            for rec in self._records
+            for _, msg in sorted(rec.broadcasts.items())
+        ]
+
+    def max_message_size(self) -> int:
+        return max(self.message_sizes(), default=0)
+
+    def mean_message_size(self) -> float:
+        sizes = self.message_sizes()
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def collision_rounds(self, node: NodeId) -> list[Round]:
+        """Rounds in which ``node`` was handed a collision indication."""
+        return [
+            rec.round for rec in self._records
+            if rec.collisions.get(node, False)
+        ]
+
+    def broadcasts_by(self, node: NodeId) -> list[tuple[Round, Message]]:
+        return [
+            (rec.round, rec.broadcasts[node])
+            for rec in self._records
+            if node in rec.broadcasts
+        ]

@@ -1,0 +1,98 @@
+"""Client programs and their per-device runtime.
+
+Clients are the paper's "abstract mobile nodes": user code that interacts
+with virtual nodes over the *virtual* broadcast service.  A client
+program is driven once per virtual round with an observation of the
+virtual channel (messages heard in the CLIENT and VN phases, plus the
+virtual collision flag) and may emit one message, which the runtime
+broadcasts in the next CLIENT phase.
+
+The virtual channel a client sees is collision-prone exactly like the
+real one (Section 1.2): two clients transmitting in the same virtual
+round collide for real inside the shared CLIENT phase, and the real
+collision detector's indication becomes the virtual one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ..types import VirtualRound
+from .program import VirtualObservation
+
+
+class ClientProgram(ABC):
+    """User code running on an (abstract) mobile node."""
+
+    @abstractmethod
+    def on_round(self, vr: VirtualRound,
+                 observation: VirtualObservation) -> Any | None:
+        """Consume round ``vr``'s observation; return the *next* round's
+        broadcast payload (or ``None`` to stay silent).
+
+        Payloads must be canonically orderable (str / int / tuples
+        thereof) because replicas fold them into agreement proposals.
+        """
+
+
+class SilentClient(ClientProgram):
+    """Listens forever; records everything it hears (useful in tests)."""
+
+    def __init__(self) -> None:
+        self.heard: list[tuple[VirtualRound, VirtualObservation]] = []
+
+    def on_round(self, vr, observation):
+        self.heard.append((vr, observation))
+        return None
+
+
+class ScriptedClient(ClientProgram):
+    """Broadcasts a fixed script: ``script[vr]`` in virtual round ``vr``.
+
+    Also records observations, so tests can assert on both directions.
+    """
+
+    def __init__(self, script: dict[VirtualRound, Any]) -> None:
+        self.script = dict(script)
+        self.heard: list[tuple[VirtualRound, VirtualObservation]] = []
+
+    def on_round(self, vr, observation):
+        self.heard.append((vr, observation))
+        return self.script.get(vr + 1)
+
+
+class ClientRuntime:
+    """Drives one client program through the phase structure."""
+
+    def __init__(self, program: ClientProgram) -> None:
+        self.program = program
+        self._messages: list[Any] = []
+        self._collision = False
+        self._last_vr: VirtualRound | None = None
+
+    def begin_virtual_round(self, vr: VirtualRound) -> Any | None:
+        """Called at the CLIENT phase: closes the previous round's
+        observation, feeds it to the program, and returns the payload
+        (if any) to broadcast now."""
+        if self._last_vr is None:
+            # First round: the program observes nothing yet; convention is
+            # that script entry 0 (if any) comes from on_round(-1, empty).
+            out = self.program.on_round(-1, VirtualObservation((), False))
+        else:
+            out = self.program.on_round(
+                self._last_vr,
+                VirtualObservation(tuple(self._messages), self._collision),
+            )
+        self._messages = []
+        self._collision = False
+        self._last_vr = vr
+        return out
+
+    def observe_client_phase(self, items: list[Any], collision: bool) -> None:
+        self._messages.extend(("cl", payload) for payload in items)
+        self._collision = self._collision or collision
+
+    def observe_vn_phase(self, items: list[tuple[int, Any]], collision: bool) -> None:
+        self._messages.extend(("vn", vn_id, payload) for vn_id, payload in items)
+        self._collision = self._collision or collision

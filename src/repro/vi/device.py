@@ -1,0 +1,233 @@
+"""The physical device process: client + emulator + join state machine.
+
+One :class:`VIDevice` is one mobile node of the underlying network.  Per
+round it consults the phase clock and dispatches to up to three roles:
+
+* a **client runtime** (if user code is installed) — broadcasts in CLIENT
+  phases and observes CLIENT + VN phases;
+* a **replica runtime** — when the device is inside some virtual node's
+  emulation region (within ``R1/4`` of its home location) and has
+  completed the join protocol (or was present at deployment);
+* a **joiner state machine** — when the device is in-region but not yet
+  active: JOIN request → JOIN_ACK adoption, or (on silence) the RESET
+  probe and rebirth of Section 4.3.
+
+Role changes (entering/leaving regions, activating a join) happen only at
+virtual-round boundaries (the CLIENT phase), which keeps the CHA instance
+alignment invariant trivial to maintain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from ..geometry import Point
+from ..net.messages import Message
+from ..net.node import Process
+from ..types import Round, VirtualRound
+from .client import ClientProgram, ClientRuntime
+from .payloads import AlivePing, ClientMsg, JoinAck, JoinRequest, VNMsg
+from .phases import Phase, PhaseClock, PhasePosition
+from .program import VNProgram
+from .replica import ReplicaRuntime
+from .schedule import Schedule, VNSite
+
+
+class JoinState(enum.Enum):
+    IDLE = "idle"
+    WANT_JOIN = "want-join"        # in-region, will request when scheduled
+    AWAIT_ACK = "await-ack"        # request sent this virtual round
+    AWAIT_RESET = "await-reset"    # ack silent; probing for life
+
+
+class VIDevice(Process):
+    """A mobile device participating in the virtual-infrastructure world."""
+
+    def __init__(self, *, sites: list[VNSite],
+                 programs: dict[int, VNProgram],
+                 schedule: Schedule, clock: PhaseClock,
+                 region_radius: float,
+                 locate: Callable[[], Point],
+                 client: ClientProgram | None = None,
+                 initially_active: bool = False) -> None:
+        self.sites = {site.vn_id: site for site in sites}
+        self.programs = programs
+        self.schedule = schedule
+        self.clock = clock
+        self.region_radius = region_radius
+        self._locate = locate
+        self.client = ClientRuntime(client) if client is not None else None
+        self.replica: ReplicaRuntime | None = None
+        self._initially_active = initially_active
+        self._join_state = JoinState.IDLE
+        self._join_target: int | None = None
+        self._pending_replica: ReplicaRuntime | None = None
+        #: (virtual round, event) log for join/reset experiments.
+        self.events: list[tuple[VirtualRound, str]] = []
+
+    # ------------------------------------------------------------------
+    # Region / role management (virtual-round boundaries)
+    # ------------------------------------------------------------------
+
+    def _nearest_site_in_region(self) -> VNSite | None:
+        try:
+            here = self._locate()
+        except KeyError:
+            return None
+        best: VNSite | None = None
+        best_dist = None
+        for site in self.sites.values():
+            dist = site.location.distance_to(here)
+            if dist <= self.region_radius and (best_dist is None or
+                                               (dist, site.vn_id) < (best_dist, best.vn_id)):
+                best, best_dist = site, dist
+        return best
+
+    def _boundary_housekeeping(self, vr: VirtualRound) -> None:
+        target = self._nearest_site_in_region()
+
+        # Activate a join/reset decided at the end of the previous round.
+        if self._pending_replica is not None:
+            if target is not None and target.vn_id == self._pending_replica.site.vn_id:
+                self.replica = self._pending_replica
+                self.events.append((vr, f"active:{target.vn_id}"))
+            self._pending_replica = None
+            self._join_state = JoinState.IDLE
+            self._join_target = None
+
+        # Deployment-time activation: devices present in a region at the
+        # first virtual round start as live replicas with fresh state.
+        if vr == 0 and self._initially_active and target is not None \
+                and self.replica is None:
+            self.replica = ReplicaRuntime(
+                target, self.programs[target.vn_id], self.schedule,
+            )
+            self.events.append((0, f"deployed:{target.vn_id}"))
+
+        # Leaving a region tears the replica down.
+        if self.replica is not None and (
+                target is None or target.vn_id != self.replica.site.vn_id):
+            self.events.append((vr, f"left:{self.replica.site.vn_id}"))
+            self.replica = None
+
+        # Entering a region starts (or retargets) the join protocol; being
+        # active or out of all regions cancels any join in progress.
+        if self.replica is None and target is not None:
+            if self._join_target != target.vn_id:
+                self._join_target = target.vn_id
+                self._join_state = JoinState.WANT_JOIN
+            elif self._join_state is not JoinState.IDLE:
+                # A probe left hanging from last round restarts cleanly.
+                self._join_state = JoinState.WANT_JOIN
+        else:
+            self._join_state = JoinState.IDLE
+            self._join_target = None
+
+    # ------------------------------------------------------------------
+    # Process interface
+    # ------------------------------------------------------------------
+
+    def contend(self, r: Round) -> str | None:
+        if self.replica is not None:
+            return f"vn{self.replica.site.vn_id}"
+        return None
+
+    def send(self, r: Round, active: bool) -> Any | None:
+        pos = self.clock.position(r)
+        if pos.phase is Phase.CLIENT:
+            self._boundary_housekeeping(pos.virtual_round)
+            out = None
+            if self.client is not None:
+                payload = self.client.begin_virtual_round(pos.virtual_round)
+                if payload is not None:
+                    out = ClientMsg(pos.virtual_round, payload)
+            if self.replica is not None:
+                self.replica.send_for(pos, False)  # scratch reset only
+            return out
+
+        joiner_out = self._joiner_send(pos)
+        if joiner_out is not None:
+            return joiner_out
+        if self.replica is not None:
+            return self.replica.send_for(pos, active)
+        return None
+
+    def deliver(self, r: Round, messages: tuple[Message, ...],
+                collision: bool) -> None:
+        pos = self.clock.position(r)
+        payloads = [m.payload for m in messages]
+        if self.client is not None:
+            if pos.phase is Phase.CLIENT:
+                self.client.observe_client_phase(
+                    [p.payload for p in payloads if isinstance(p, ClientMsg)],
+                    collision,
+                )
+            elif pos.phase is Phase.VN:
+                self.client.observe_vn_phase(
+                    [(p.vn_id, p.payload) for p in payloads if isinstance(p, VNMsg)],
+                    collision,
+                )
+        if self.replica is not None:
+            self.replica.deliver_for(pos, payloads, collision)
+        else:
+            self._joiner_deliver(pos, payloads, collision)
+
+    # ------------------------------------------------------------------
+    # Join state machine
+    # ------------------------------------------------------------------
+
+    def _target_scheduled(self, vr: VirtualRound) -> bool:
+        return (self._join_target is not None
+                and self.schedule.is_scheduled(self._join_target, vr))
+
+    def _joiner_send(self, pos: PhasePosition) -> Any | None:
+        if self.replica is not None or self._join_target is None:
+            return None
+        if pos.phase is Phase.JOIN and self._join_state is JoinState.WANT_JOIN \
+                and self._target_scheduled(pos.virtual_round):
+            self._join_state = JoinState.AWAIT_ACK
+            self.events.append((pos.virtual_round, f"join-req:{self._join_target}"))
+            return JoinRequest(self._join_target, pos.virtual_round)
+        return None
+
+    def _joiner_deliver(self, pos: PhasePosition, payloads: list[Any],
+                        collision: bool) -> None:
+        if self._join_target is None:
+            return
+        vn = self._join_target
+        vr = pos.virtual_round
+
+        if pos.phase is Phase.JOIN_ACK and self._join_state is JoinState.AWAIT_ACK:
+            acks = [p for p in payloads if isinstance(p, JoinAck) and p.vn_id == vn]
+            if acks:
+                self._pending_replica = ReplicaRuntime(
+                    self.sites[vn], self.programs[vn], self.schedule,
+                    snapshot=acks[0].snapshot,
+                )
+                self.events.append((vr, f"acked:{vn}"))
+            elif collision:
+                # Someone answered but it was lost: the node is alive.
+                self._join_state = JoinState.WANT_JOIN
+                self.events.append((vr, f"ack-collision:{vn}"))
+            else:
+                self._join_state = JoinState.AWAIT_RESET
+            return
+
+        if pos.phase is Phase.RESET and self._join_state is JoinState.AWAIT_RESET:
+            alive = collision or any(
+                isinstance(p, AlivePing) and p.vn_id == vn for p in payloads
+            )
+            if alive:
+                self._join_state = JoinState.WANT_JOIN
+                self.events.append((vr, f"reset-abort:{vn}"))
+            else:
+                # Total silence: the virtual node is dead.  Reinitialise it
+                # ("beginning the emulation anew", Section 4.3), anchored
+                # at the instance for the *next* virtual round.
+                self._pending_replica = ReplicaRuntime(
+                    self.sites[vn], self.programs[vn], self.schedule,
+                    reset_at=vr + 1,
+                )
+                self.events.append((vr, f"reset:{vn}"))
+            return

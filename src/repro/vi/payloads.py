@@ -1,0 +1,65 @@
+"""Wire payloads of the emulation protocol.
+
+Every payload is tagged with the phase family it belongs to and — except
+client messages — the virtual node it concerns, so that the eleven-phase
+multiplexing can filter receptions.  CHA ballots/vetoes reuse the core
+payload types with ``tag=("vn", vn_id)``.
+
+All payloads except :class:`JoinAck` are constant-size in the paper's
+accounting.  The join-ack carries a state snapshot; its size is a
+measured quantity (experiment E11), matching Section 5's open question
+(3) "reducing the cost of state transfer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..types import VirtualRound
+
+
+@dataclass(frozen=True, slots=True)
+class ClientMsg:
+    """A client's broadcast for one virtual round (CLIENT phase)."""
+
+    virtual_round: VirtualRound
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class VNMsg:
+    """A virtual node's broadcast, sent by a replica (VN phase)."""
+
+    vn_id: int
+    virtual_round: VirtualRound
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """A newcomer asking the emulators of ``vn_id`` for the state (JOIN)."""
+
+    vn_id: int
+    virtual_round: VirtualRound
+
+
+@dataclass(frozen=True)
+class JoinAck:
+    """State transfer to joiners (JOIN_ACK phase).
+
+    ``snapshot`` is the emulator state bundle (CHA core + virtual-round
+    bookkeeping).  Not constant-size; see experiment E11.
+    """
+
+    vn_id: int
+    virtual_round: VirtualRound
+    snapshot: dict
+
+
+@dataclass(frozen=True, slots=True)
+class AlivePing:
+    """An active emulator signalling liveness in the RESET phase."""
+
+    vn_id: int
+    virtual_round: VirtualRound

@@ -1,0 +1,111 @@
+"""The eleven-phase structure of one emulated virtual round (Section 4.3).
+
+One virtual round costs ``s + 12`` real rounds, where ``s`` is the
+schedule length (DESIGN.md §5 documents the accounting):
+
+====================  ==================  =========================
+phase                 real-round offsets  purpose
+====================  ==================  =========================
+CLIENT                0                   clients broadcast
+VN                    1                   replicas broadcast VN msgs
+SCHED_BALLOT          2                   scheduled CHA, ballot
+SCHED_VETO1           3                   scheduled CHA, veto-1
+SCHED_VETO2           4                   scheduled CHA, veto-2
+UNSCHED_BALLOT        5 .. 5+s+1          unscheduled CHA ballot,
+                                          one slot per schedule
+                                          colour + 2 guard slots
+UNSCHED_VETO1         s+7                 unscheduled CHA, veto-1
+UNSCHED_VETO2         s+8                 unscheduled CHA, veto-2
+JOIN                  s+9                 join requests
+JOIN_ACK              s+10                state transfer
+RESET                 s+11                liveness pings / reset
+====================  ==================  =========================
+
+The paper counts *eleven* logical phases; the unscheduled ballot phase is
+"instantiated using s + 2 rounds (instead of 1 round)" (Section 4.3),
+which is where the schedule-length dependence of the per-virtual-round
+overhead comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..types import Round, VirtualRound
+
+
+class Phase(enum.Enum):
+    """Logical phase of the emulation protocol."""
+
+    CLIENT = "client"
+    VN = "vn"
+    SCHED_BALLOT = "sched-ballot"
+    SCHED_VETO1 = "sched-veto1"
+    SCHED_VETO2 = "sched-veto2"
+    UNSCHED_BALLOT = "unsched-ballot"
+    UNSCHED_VETO1 = "unsched-veto1"
+    UNSCHED_VETO2 = "unsched-veto2"
+    JOIN = "join"
+    JOIN_ACK = "join-ack"
+    RESET = "reset"
+
+
+#: Number of phases in the protocol (the paper's "total of eleven phases").
+PHASE_COUNT = len(Phase)
+
+
+@dataclass(frozen=True)
+class PhasePosition:
+    """Where a real round falls inside the virtual-round structure."""
+
+    virtual_round: VirtualRound
+    phase: Phase
+    #: Slot index inside the UNSCHED_BALLOT phase (0..s+1); 0 elsewhere.
+    slot: int
+
+
+class PhaseClock:
+    """Maps real rounds to (virtual round, phase, slot) positions."""
+
+    def __init__(self, schedule_length: int) -> None:
+        if schedule_length < 1:
+            raise ConfigurationError("schedule length must be at least 1")
+        self.s = schedule_length
+        #: Real rounds consumed per virtual round ("constant overhead,
+        #: depending only on the density of the virtual node deployment").
+        self.rounds_per_virtual_round = schedule_length + 12
+
+    def position(self, r: Round) -> PhasePosition:
+        vr, offset = divmod(r, self.rounds_per_virtual_round)
+        s = self.s
+        if offset == 0:
+            return PhasePosition(vr, Phase.CLIENT, 0)
+        if offset == 1:
+            return PhasePosition(vr, Phase.VN, 0)
+        if offset == 2:
+            return PhasePosition(vr, Phase.SCHED_BALLOT, 0)
+        if offset == 3:
+            return PhasePosition(vr, Phase.SCHED_VETO1, 0)
+        if offset == 4:
+            return PhasePosition(vr, Phase.SCHED_VETO2, 0)
+        if offset < 5 + s + 2:
+            return PhasePosition(vr, Phase.UNSCHED_BALLOT, offset - 5)
+        if offset == s + 7:
+            return PhasePosition(vr, Phase.UNSCHED_VETO1, 0)
+        if offset == s + 8:
+            return PhasePosition(vr, Phase.UNSCHED_VETO2, 0)
+        if offset == s + 9:
+            return PhasePosition(vr, Phase.JOIN, 0)
+        if offset == s + 10:
+            return PhasePosition(vr, Phase.JOIN_ACK, 0)
+        return PhasePosition(vr, Phase.RESET, 0)
+
+    def first_round_of(self, vr: VirtualRound) -> Round:
+        """The real round at which virtual round ``vr`` begins."""
+        return vr * self.rounds_per_virtual_round
+
+    def rounds_for(self, virtual_rounds: int) -> int:
+        """Real rounds needed to emulate ``virtual_rounds`` full rounds."""
+        return virtual_rounds * self.rounds_per_virtual_round

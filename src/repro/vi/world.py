@@ -1,0 +1,217 @@
+"""The virtual-infrastructure world: deployment + execution harness.
+
+:class:`VIWorld` assembles everything Section 4 needs — sites, programs,
+the broadcast schedule, one regional contention manager per virtual node,
+the radio simulator — and runs the emulation by whole virtual rounds,
+recording per-virtual-node outcome colours for the availability and
+consistency experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..contention import RegionalCM
+from ..detectors import CollisionDetector
+from ..errors import ConfigurationError
+from ..geometry import Point
+from ..net import (
+    Adversary,
+    CrashSchedule,
+    MobilityModel,
+    RadioSpec,
+    Simulator,
+)
+from ..types import Color, NodeId, VirtualRound
+from .client import ClientProgram
+from .device import VIDevice
+from .phases import PhaseClock
+from .program import VNProgram
+from .schedule import Schedule, VNSite, build_schedule, verify_schedule
+
+
+@dataclass
+class VNRoundOutcome:
+    """What happened to one virtual node in one virtual round."""
+
+    virtual_round: VirtualRound
+    #: Colour per replica device that finished the round's instance.
+    colors: dict[NodeId, Color] = field(default_factory=dict)
+
+    @property
+    def live(self) -> bool:
+        """The round made externally-visible progress: someone went green."""
+        return any(c is Color.GREEN for c in self.colors.values())
+
+    @property
+    def emulated(self) -> bool:
+        """At least one replica ran the round's agreement instance."""
+        return bool(self.colors)
+
+
+class VIWorld:
+    """Builds and drives one virtual-infrastructure deployment."""
+
+    def __init__(self, sites: list[VNSite], programs: dict[int, VNProgram],
+                 *, r1: float = 1.0, r2: float = 1.5, rcf: int = 0,
+                 adversary: Adversary | None = None,
+                 detector: CollisionDetector | None = None,
+                 crashes: CrashSchedule | None = None,
+                 cm_stable_round: int = 0,
+                 min_schedule_length: int = 1,
+                 schedule: Schedule | None = None) -> None:
+        if set(programs) != {site.vn_id for site in sites}:
+            raise ConfigurationError(
+                "programs must be keyed exactly by the site vn_ids"
+            )
+        self.sites = list(sites)
+        self.programs = dict(programs)
+        self.region_radius = r1 / 4.0
+        if schedule is None:
+            schedule = build_schedule(sites, r1=r1, r2=r2,
+                                      min_length=min_schedule_length)
+        verify_schedule(schedule, sites, r1=r1, r2=r2)
+        self.schedule = schedule
+        self.clock = PhaseClock(schedule.length)
+        # Inject schedule hints: programs may gate their emissions on
+        # their own slot (see ScheduleAware) so that multi-replica
+        # broadcasts of unscheduled nodes do not self-collide.
+        for vn_id, program in self.programs.items():
+            program.schedule_slot = schedule.slot_of(vn_id)
+            program.schedule_period = schedule.length
+        self.sim = Simulator(
+            spec=RadioSpec(r1=r1, r2=r2, rcf=rcf),
+            adversary=adversary,
+            detector=detector,
+            crashes=crashes,
+        )
+        for site in sites:
+            self.sim.add_cm(f"vn{site.vn_id}", RegionalCM(
+                location=site.location,
+                region_radius=self.region_radius,
+                locate=self.sim.locations.locate,
+                tenure=2 * (schedule.length + 10),
+                stable_round=cm_stable_round,
+            ))
+        self.devices: dict[NodeId, VIDevice] = {}
+        self.outcomes: dict[int, list[VNRoundOutcome]] = {
+            site.vn_id: [] for site in sites
+        }
+        self._virtual_rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def add_device(self, mobility: MobilityModel | Point, *,
+                   client: ClientProgram | None = None,
+                   start_round: int = 0,
+                   initially_active: bool | None = None) -> NodeId:
+        """Register a device.
+
+        ``initially_active`` defaults to True for devices present from
+        round 0 (the deployment bootstraps virtual nodes from whatever is
+        in their regions) and False for late arrivals, which must join.
+        """
+        if initially_active is None:
+            initially_active = start_round == 0
+        device_holder: list[VIDevice] = []
+
+        def locate() -> Point:
+            return self.sim.locations.locate(device_holder[0]._node_id)  # type: ignore[attr-defined]
+
+        device = VIDevice(
+            sites=self.sites,
+            programs=self.programs,
+            schedule=self.schedule,
+            clock=self.clock,
+            region_radius=self.region_radius,
+            locate=locate,
+            client=client,
+            initially_active=initially_active,
+        )
+        device_holder.append(device)
+        node_id = self.sim.add_node(device, mobility, start_round=start_round)
+        device._node_id = node_id  # type: ignore[attr-defined]
+        self.devices[node_id] = device
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_virtual_rounds(self, count: int) -> None:
+        """Run ``count`` whole virtual rounds, recording outcomes."""
+        for _ in range(count):
+            vr = self._virtual_rounds_run
+            for _ in range(self.clock.rounds_per_virtual_round):
+                self.sim.step()
+            self._record_outcomes(vr)
+            self._virtual_rounds_run += 1
+
+    def _record_outcomes(self, vr: VirtualRound) -> None:
+        for site in self.sites:
+            outcome = VNRoundOutcome(virtual_round=vr)
+            for node_id, device in self.devices.items():
+                replica = device.replica
+                if replica is None or replica.site.vn_id != site.vn_id:
+                    continue
+                color = replica.round_colors.get(vr)
+                if color is not None:
+                    outcome.colors[node_id] = color
+            self.outcomes[site.vn_id].append(outcome)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def virtual_rounds_run(self) -> int:
+        return self._virtual_rounds_run
+
+    def replicas_of(self, vn_id: int) -> dict[NodeId, Any]:
+        """Current active replica runtimes emulating ``vn_id``."""
+        return {
+            node_id: device.replica
+            for node_id, device in self.devices.items()
+            if device.replica is not None
+            and device.replica.site.vn_id == vn_id
+            and self.sim.alive(node_id)
+        }
+
+    def vn_states(self, vn_id: int) -> dict[NodeId, Any]:
+        """Virtual-node state as derived by each active replica."""
+        return {
+            node_id: replica.vn_state()
+            for node_id, replica in self.replicas_of(vn_id).items()
+        }
+
+    def availability(self, vn_id: int) -> float:
+        """Fraction of executed virtual rounds in which ``vn_id`` was live."""
+        outcomes = self.outcomes[vn_id]
+        if not outcomes:
+            return 0.0
+        return sum(o.live for o in outcomes) / len(outcomes)
+
+    def emulation_gaps(self, vn_id: int) -> int:
+        """Virtual rounds in which nobody emulated the node at all."""
+        return sum(not o.emulated for o in self.outcomes[vn_id])
+
+    def check_replica_consistency(self, vn_id: int) -> None:
+        """Assert all replicas with the same checkpoint agree on VN state.
+
+        Replicas whose checkpoints are at the same instance must hold
+        identical folded states (CHA agreement + deterministic program).
+        Raises ``AssertionError`` with context on violation.
+        """
+        by_checkpoint: dict[int, set] = {}
+        for node_id, replica in self.replicas_of(vn_id).items():
+            out = replica.core.current_checkpoint_output()
+            by_checkpoint.setdefault(out.checkpoint_instance, set()).add(
+                (out.checkpoint_state,)
+            )
+        for anchor, states in by_checkpoint.items():
+            assert len(states) == 1, (
+                f"vn {vn_id}: replicas at checkpoint {anchor} disagree: {states}"
+            )

@@ -1,0 +1,78 @@
+"""Workload generators: crash schedules, adversary scripts, client loads.
+
+Benchmarks and soak tests need *families* of reproducible environments;
+these helpers derive them from (n, seed) pairs so that every table row
+names its exact configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from ..net import Crash, CrashPoint, CrashSchedule, RandomLossAdversary
+from ..types import NodeId, Round
+
+
+def random_crash_schedule(n: int, *, fraction: float, horizon: Round,
+                          seed: int, spare: frozenset[NodeId] = frozenset(),
+                          after_send_fraction: float = 0.25) -> CrashSchedule:
+    """Crash ``fraction`` of the nodes at random rounds before ``horizon``.
+
+    Nodes in ``spare`` never crash (at least one correct node is a
+    standing assumption of the model).  A share of the crashes use the
+    AFTER_SEND point, exercising the footnote-2 decide-and-die path.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    candidates = [node for node in range(n) if node not in spare]
+    rng.shuffle(candidates)
+    doomed = candidates[: int(round(fraction * n))]
+    crashes = []
+    for node in doomed:
+        point = (CrashPoint.AFTER_SEND
+                 if rng.random() < after_send_fraction
+                 else CrashPoint.BEFORE_SEND)
+        crashes.append(Crash(node, rng.randrange(1, max(horizon, 2)), point))
+    return CrashSchedule(crashes)
+
+
+def storm_adversary(*, intensity: float, seed: int) -> RandomLossAdversary:
+    """A calibrated lossy channel: ``intensity`` in [0, 1] scales both the
+    drop rate (up to 0.7) and the false-collision rate (up to 0.5)."""
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must lie in [0, 1]")
+    return RandomLossAdversary(
+        p_drop=0.7 * intensity,
+        p_false=0.5 * intensity,
+        seed=seed,
+    )
+
+
+def periodic_client_script(*, period: int, rounds: int,
+                           make_payload: Callable[[int], Any],
+                           offset: int = 0) -> dict[int, Any]:
+    """A client script sending ``make_payload(i)`` every ``period`` rounds."""
+    if period < 1:
+        raise ValueError("period must be at least 1")
+    return {
+        vr: make_payload(i)
+        for i, vr in enumerate(range(offset, rounds, period))
+    }
+
+
+def poisson_client_script(*, rate: float, rounds: int,
+                          make_payload: Callable[[int], Any],
+                          seed: int) -> dict[int, Any]:
+    """A client script with i.i.d. per-round send probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must lie in [0, 1]")
+    rng = random.Random(seed)
+    script = {}
+    i = 0
+    for vr in range(rounds):
+        if rng.random() < rate:
+            script[vr] = make_payload(i)
+            i += 1
+    return script

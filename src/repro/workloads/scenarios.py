@@ -1,0 +1,81 @@
+"""Canned deployment scenarios for examples, tests and benchmarks.
+
+Each scenario builds the geometry of a world — virtual-node sites and
+device placements — leaving programs and environments to the caller.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import GridSpec, Point
+from ..net import RandomWaypointMobility, StaticMobility
+from ..vi.schedule import VNSite
+
+#: Canonical radii used throughout the examples and benchmarks.
+R1, R2 = 1.0, 1.5
+
+
+def single_region(n_replicas: int = 3, *, radius: float = 0.2) -> tuple[list[VNSite], list[Point]]:
+    """One virtual node at the origin with a ring of replica devices."""
+    sites = [VNSite(0, Point(0.0, 0.0))]
+    devices = [
+        Point(radius * math.cos(2 * math.pi * i / n_replicas),
+              radius * math.sin(2 * math.pi * i / n_replicas))
+        for i in range(n_replicas)
+    ]
+    return sites, devices
+
+
+def vn_line(count: int, *, spacing: float = 0.5,
+            replicas_per_vn: int = 2) -> tuple[list[VNSite], list[Point]]:
+    """A corridor of virtual nodes, each within virtual range of the next.
+
+    ``spacing <= R1/2`` keeps adjacent virtual nodes mutually audible
+    (replica-to-replica distance stays within ``R1``).
+    """
+    sites = [VNSite(i, Point(i * spacing, 0.0)) for i in range(count)]
+    devices = []
+    for site in sites:
+        for j in range(replicas_per_vn):
+            angle = 2 * math.pi * j / replicas_per_vn + 0.3
+            devices.append(Point(
+                site.location.x + 0.1 * math.cos(angle),
+                site.location.y + 0.1 * math.sin(angle),
+            ))
+    return sites, devices
+
+
+def vn_grid(rows: int, cols: int, *, spacing: float = 6.0,
+            replicas_per_vn: int = 2) -> tuple[list[VNSite], list[Point]]:
+    """A rows x cols grid of virtual nodes (the 'regular locations
+    throughout the world' deployment of Section 1.2)."""
+    grid = GridSpec(rows=rows, cols=cols, spacing=spacing)
+    sites = [VNSite(i, p) for i, p in enumerate(grid.sites())]
+    devices = []
+    for site in sites:
+        for j in range(replicas_per_vn):
+            angle = 2 * math.pi * j / replicas_per_vn + 0.5
+            devices.append(Point(
+                site.location.x + 0.12 * math.cos(angle),
+                site.location.y + 0.12 * math.sin(angle),
+            ))
+    return sites, devices
+
+
+def roaming_devices(count: int, *, arena: tuple[float, float, float, float],
+                    speed: float, seed: int) -> list[RandomWaypointMobility]:
+    """Random-waypoint devices roaming an arena (churn workloads)."""
+    x_lo, y_lo, x_hi, y_hi = arena
+    models = []
+    for i in range(count):
+        rng_seed = seed * 1000 + i
+        start = Point(
+            x_lo + (x_hi - x_lo) * ((i + 0.5) / count),
+            y_lo + (y_hi - y_lo) * 0.5,
+        )
+        models.append(RandomWaypointMobility(
+            start, arena=arena, speed=speed, seed=rng_seed,
+        ))
+    return models

@@ -1,0 +1,103 @@
+"""Unit tests for the glass-box lemma checkers."""
+
+import pytest
+
+from repro.analysis import (
+    check_all_invariants,
+    check_lemma5,
+    check_lemma6,
+    check_lemma9,
+    check_prev_pointer_discipline,
+    check_property4,
+)
+from repro.contention import LeaderElectionCM
+from repro.core import run_cha
+from repro.detectors import EventuallyAccurateDetector
+from repro.errors import SpecViolation
+from repro.net import RandomLossAdversary
+from repro.types import Color
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """A batch of adversarial executions for soak-checking."""
+    out = []
+    for seed in range(6):
+        out.append(run_cha(
+            n=5, instances=25,
+            adversary=RandomLossAdversary(p_drop=0.4, p_false=0.25, seed=seed),
+            detector=EventuallyAccurateDetector(racc=45),
+            cm=LeaderElectionCM(stable_round=45, chaos="random", seed=seed),
+            rcf=45,
+        ))
+    return out
+
+
+class TestCheckersPassOnRealExecutions:
+    def test_property4(self, runs):
+        for run in runs:
+            check_property4(run)
+
+    def test_lemma5(self, runs):
+        for run in runs:
+            check_lemma5(run)
+
+    def test_lemma6(self, runs):
+        for run in runs:
+            check_lemma6(run)
+
+    def test_lemma9(self, runs):
+        for run in runs:
+            check_lemma9(run)
+
+    def test_prev_pointer(self, runs):
+        for run in runs:
+            check_prev_pointer_discipline(run)
+
+    def test_check_all(self, runs):
+        check_all_invariants(runs[0])
+
+
+class TestCheckersDetectViolations:
+    """Corrupt a finished run's state and confirm each checker fires."""
+
+    def make_run(self):
+        return run_cha(n=3, instances=5)
+
+    def test_property4_fires_on_two_shade_gap(self):
+        run = self.make_run()
+        run.processes[0].core.status[3] = Color.RED
+        run.processes[1].core.status[3] = Color.YELLOW
+        with pytest.raises(SpecViolation, match="Property 4"):
+            check_property4(run)
+
+    def test_lemma5_fires_on_green_orange_mix(self):
+        run = self.make_run()
+        run.processes[0].core.status[2] = Color.ORANGE
+        with pytest.raises(SpecViolation, match="Lemma 5"):
+            check_lemma5(run)
+
+    def test_lemma6_fires_on_red_included_instance(self):
+        run = self.make_run()
+        # All histories include instance 2; painting it red at one node
+        # (keeping others orange to appease Lemma 5's shape) must trip it.
+        run.processes[0].core.status[2] = Color.RED
+        with pytest.raises(SpecViolation, match="Lemma 6"):
+            check_lemma6(run)
+
+    def test_lemma9_fires_on_missing_green(self):
+        run = self.make_run()
+        # Forge an output that omits a green instance.
+        from repro.core import History
+        node = 0
+        log = run.processes[node].core.outputs
+        bad = History(5, {k: f"v0.{k:06d}" for k in (1, 2, 4, 5)})
+        log.append((5, bad))
+        with pytest.raises(SpecViolation, match="Lemma 9"):
+            check_lemma9(run)
+
+    def test_prev_pointer_fires_on_stale_pointer(self):
+        run = self.make_run()
+        run.processes[0].core.prev_instance = 1
+        with pytest.raises(SpecViolation, match="prev-instance"):
+            check_prev_pointer_discipline(run)

@@ -1,0 +1,56 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.analysis import format_cell, print_table, render_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_trims_zeros(self):
+        assert format_cell(0.5) == "0.5"
+        assert format_cell(2.0) == "2"
+
+    def test_float_precision(self):
+        assert format_cell(1 / 3) == "0.333"
+
+    def test_infinity(self):
+        assert format_cell(float("inf")) == "inf"
+
+    def test_strings_and_ints(self):
+        assert format_cell("x") == "x"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "a    bbbb"
+        assert lines[2].startswith("1  ")
+        assert lines[3].startswith("333")
+
+    def test_title(self):
+        text = render_table(["h"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_separator_row(self):
+        text = render_table(["col"], [["x"]])
+        assert "---" in text.splitlines()[1]
+
+    def test_print_table_returns_text(self, capsys):
+        text = print_table(["n"], [[5]])
+        captured = capsys.readouterr()
+        assert "5" in captured.out
+        assert "5" in text
+
+    def test_empty_rows(self):
+        text = render_table(["only", "headers"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,107 @@
+"""Tests for virtual-node-coordinated robots."""
+
+import math
+
+import pytest
+
+from repro.apps import (
+    CoordinatorProgram,
+    RobotClient,
+    circle_formation,
+    from_fixed,
+    to_fixed,
+)
+from repro.geometry import Point
+from repro.vi import VIWorld, VirtualObservation
+from repro.workloads import single_region
+
+
+class TestFixedPoint:
+    def test_roundtrip(self):
+        assert from_fixed(to_fixed(1.23)) == pytest.approx(1.23)
+
+    def test_circle_formation_radius(self):
+        targets = circle_formation(4, radius=2.0)
+        for tx, ty in targets:
+            assert math.hypot(from_fixed(tx), from_fixed(ty)) == pytest.approx(2.0, abs=0.02)
+
+    def test_circle_formation_distinct(self):
+        assert len(set(circle_formation(6, radius=1.0))) == 6
+
+
+class TestCoordinatorProgram:
+    def test_assigns_slots_in_arrival_order(self):
+        p = CoordinatorProgram()
+        s = p.step(p.init_state(), 0, VirtualObservation(
+            (("cl", ("pos", "r1", 0, 0)),), False))
+        s = p.step(s, 1, VirtualObservation(
+            (("cl", ("pos", "r2", 5, 5)),), False))
+        assert dict(s) == {"r1": 0, "r2": 1}
+
+    def test_capacity_respected(self):
+        p = CoordinatorProgram(capacity=1)
+        s = p.step(p.init_state(), 0, VirtualObservation(
+            (("cl", ("pos", "a", 0, 0)), ("cl", ("pos", "b", 0, 0))), False))
+        assert len(s) == 1
+
+    def test_emit_cycles_through_robots(self):
+        p = CoordinatorProgram(radius=1.0)
+        state = (("a", 0), ("b", 1))
+        first = p.emit(state, 0)
+        second = p.emit(state, 1)
+        assert first[1] != second[1]
+        assert {first[1], second[1]} == {"a", "b"}
+
+    def test_silent_with_no_robots(self):
+        p = CoordinatorProgram()
+        assert p.emit((), 3) is None
+
+
+class TestRobotClient:
+    def test_moves_toward_target(self):
+        r = RobotClient("r", start=(0.0, 0.0), step_length=0.5)
+        r.target = (2.0, 0.0)
+        r._advance()
+        assert r.x == pytest.approx(0.5)
+
+    def test_does_not_overshoot(self):
+        r = RobotClient("r", start=(0.0, 0.0), step_length=5.0)
+        r.target = (1.0, 1.0)
+        r._advance()
+        assert (r.x, r.y) == (1.0, 1.0)
+
+    def test_goto_command_adopted(self):
+        r = RobotClient("r", start=(0.0, 0.0))
+        r.on_round(0, VirtualObservation(
+            (("vn", 0, ("goto", "r", 100, 0)),), False))
+        assert r.target == (1.0, 0.0)
+
+    def test_ignores_commands_for_others(self):
+        r = RobotClient("r", start=(0.0, 0.0))
+        r.on_round(0, VirtualObservation(
+            (("vn", 0, ("goto", "other", 100, 0)),), False))
+        assert r.target is None
+
+
+class TestEndToEndCoordination:
+    def test_robots_converge_to_formation(self):
+        sites, devices = single_region(3)
+        world = VIWorld(sites, {0: CoordinatorProgram(radius=1.5, capacity=4)})
+        for pos in devices:
+            world.add_device(pos)
+        robots = [
+            RobotClient(f"r{i}", start=(3.0 + i, 3.0), step_length=0.4,
+                        report_period=3, report_offset=i)
+            for i in range(3)
+        ]
+        for i, robot in enumerate(robots):
+            world.add_device(Point(0.35 + 0.01 * i, 0.1), client=robot,
+                             initially_active=False)
+        world.run_virtual_rounds(40)
+        # Every robot got a target and closed in on it.
+        for robot in robots:
+            assert robot.target is not None, f"{robot.robot_id} unassigned"
+            assert robot.distance_to_target() == pytest.approx(0.0, abs=1e-6)
+        # Targets are distinct formation slots.
+        assert len({r.target for r in robots}) == 3
+        world.check_replica_consistency(0)

@@ -1,0 +1,91 @@
+"""Tests for virtual-node overlay routing."""
+
+import pytest
+
+from repro.apps import (
+    DeliveringMailboxProgram,
+    ReceiverClient,
+    SenderClient,
+    build_routing_programs,
+    overlay_graph,
+)
+from repro.geometry import Point
+from repro.vi import VIWorld, VNSite, VirtualObservation
+from repro.workloads import vn_line
+
+
+class TestOverlayGraph:
+    def test_adjacent_sites_linked(self):
+        sites, _ = vn_line(3, spacing=0.5)
+        g = overlay_graph(sites, virtual_range=0.5)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_next_hop_tables_point_along_shortest_paths(self):
+        sites, _ = vn_line(4, spacing=0.5)
+        programs = build_routing_programs(sites, virtual_range=0.5)
+        assert programs[0].next_hop[3] == 1
+        assert programs[1].next_hop[3] == 2
+        assert programs[2].next_hop[0] == 1
+
+    def test_unreachable_destinations_absent(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(100, 0))]
+        programs = build_routing_programs(sites, virtual_range=0.5)
+        assert programs[0].next_hop == {}
+
+
+class TestDeliveringMailbox:
+    def test_arrival_announced_then_dropped(self):
+        p = DeliveringMailboxProgram(0, next_hop={})
+        s = p.step(p.init_state(), 0,
+                   VirtualObservation((("cl", ("send", 0, 0, "hi")),), False))
+        assert p.emit(s, 1) == ("deliver", 0, "hi")
+        s = p.step(s, 1, VirtualObservation((), False))
+        assert p.emit(s, 2) is None
+
+    def test_delivery_takes_priority_over_relay(self):
+        p = DeliveringMailboxProgram(0, next_hop={9: 1})
+        obs = VirtualObservation(
+            (("cl", ("send", 0, 0, "local")), ("cl", ("send", 0, 9, "remote"))),
+            False,
+        )
+        s = p.step(p.init_state(), 0, obs)
+        assert p.emit(s, 1)[0] == "deliver"
+        s = p.step(s, 1, VirtualObservation((), False))
+        assert p.emit(s, 2) == ("relay", 1, 9, "remote")
+
+
+class TestEndToEndRouting:
+    def make_world(self, hops=3):
+        sites, devices = vn_line(hops, spacing=0.5, replicas_per_vn=2)
+        world = VIWorld(sites, build_routing_programs(sites, virtual_range=0.5))
+        for pos in devices:
+            world.add_device(pos)
+        return world, sites
+
+    def test_packet_crosses_overlay(self):
+        world, sites = self.make_world(3)
+        sender = SenderClient(0, {1: (2, "payload")})
+        receiver = ReceiverClient()
+        world.add_device(Point(0.0, 0.4), client=sender, initially_active=False)
+        world.add_device(Point(1.0, 0.4), client=receiver, initially_active=False)
+        world.run_virtual_rounds(30)
+        bodies = [body for _, vn, body in receiver.received if vn == 2]
+        assert "payload" in bodies
+
+    def test_local_delivery_single_hop(self):
+        world, _ = self.make_world(2)
+        sender = SenderClient(0, {1: (0, "near")})
+        receiver = ReceiverClient()
+        world.add_device(Point(0.0, 0.4), client=sender, initially_active=False)
+        world.add_device(Point(0.0, -0.4), client=receiver, initially_active=False)
+        world.run_virtual_rounds(12)
+        assert any(body == "near" for _, _, body in receiver.received)
+
+    def test_replicas_stay_consistent_while_routing(self):
+        world, sites = self.make_world(3)
+        sender = SenderClient(0, {1: (2, "a"), 4: (2, "b")})
+        world.add_device(Point(0.0, 0.4), client=sender, initially_active=False)
+        world.run_virtual_rounds(24)
+        for site in sites:
+            world.check_replica_consistency(site.vn_id)

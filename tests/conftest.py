@@ -1,0 +1,15 @@
+"""Shared pytest configuration.
+
+Pins a hypothesis profile with no per-example deadline: several property
+tests drive whole protocol executions, whose first (cold-import) example
+can exceed the default 200 ms deadline and trip a spurious health check.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

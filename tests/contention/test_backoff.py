@@ -1,0 +1,63 @@
+"""Unit tests for the exponential back-off contention manager."""
+
+from repro.contention import ExponentialBackoffCM
+
+
+def drive(cm, contenders, rounds, collide_when_multi=True):
+    """Drive the CM with honest channel feedback; returns advice history."""
+    history = []
+    for r in range(rounds):
+        advice = cm.advise(r, contenders)
+        history.append(advice)
+        cm.feedback(r, active=advice, collided=collide_when_multi and len(advice) > 1)
+    return history
+
+
+class TestBackoff:
+    def test_single_contender_wins_immediately(self):
+        cm = ExponentialBackoffCM(seed=0)
+        history = drive(cm, [5], rounds=3)
+        assert history[0] == frozenset({5})
+        assert cm.captured_by == 5
+
+    def test_eventually_exactly_one_active(self):
+        cm = ExponentialBackoffCM(seed=1)
+        history = drive(cm, list(range(8)), rounds=400)
+        # Property 3(1), probabilistically: the tail is a stable singleton.
+        tail = history[-50:]
+        assert all(len(advice) == 1 for advice in tail)
+        assert len({next(iter(a)) for a in tail}) == 1
+
+    def test_capture_lapses_when_winner_leaves(self):
+        cm = ExponentialBackoffCM(seed=2)
+        drive(cm, [1, 2, 3], rounds=200)
+        winner = cm.captured_by
+        assert winner is not None
+        rest = [n for n in (1, 2, 3) if n != winner]
+        history = drive(cm, rest, rounds=300)
+        assert cm.captured_by in rest
+        assert all(len(advice) == 1 for advice in history[-50:])
+
+    def test_advises_only_contenders(self):
+        cm = ExponentialBackoffCM(seed=3)
+        for r in range(100):
+            advice = cm.advise(r, [0, 1])
+            assert advice <= {0, 1}
+            cm.feedback(r, active=advice, collided=len(advice) > 1)
+
+    def test_deterministic_given_seed(self):
+        a = ExponentialBackoffCM(seed=9)
+        b = ExponentialBackoffCM(seed=9)
+        assert drive(a, [0, 1, 2], 100) == drive(b, [0, 1, 2], 100)
+
+    def test_collision_feedback_doubles_windows(self):
+        cm = ExponentialBackoffCM(seed=4)
+        advice = cm.advise(0, [0, 1])
+        cm.feedback(0, active=frozenset({0, 1}), collided=True)
+        assert cm._window[0] == 2 and cm._window[1] == 2
+
+    def test_invalid_max_window(self):
+        import pytest
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoffCM(max_window=1)

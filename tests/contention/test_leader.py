@@ -1,0 +1,78 @@
+"""Unit tests for the oracle leader-election contention managers."""
+
+import pytest
+
+from repro.contention import FixedLeaderCM, LeaderElectionCM, ScriptedCM
+from repro.errors import ConfigurationError
+
+
+class TestLeaderElectionCM:
+    def test_stable_advises_single_min_contender(self):
+        cm = LeaderElectionCM(stable_round=0)
+        assert cm.advise(0, [3, 1, 2]) == frozenset({1})
+
+    def test_advice_migrates_when_leader_leaves(self):
+        cm = LeaderElectionCM(stable_round=0)
+        assert cm.advise(0, [1, 2]) == frozenset({1})
+        assert cm.advise(1, [2]) == frozenset({2})
+
+    def test_empty_contenders(self):
+        cm = LeaderElectionCM()
+        assert cm.advise(0, []) == frozenset()
+
+    def test_chaos_all(self):
+        cm = LeaderElectionCM(stable_round=10, chaos="all")
+        assert cm.advise(0, [1, 2, 3]) == frozenset({1, 2, 3})
+        assert cm.advise(10, [1, 2, 3]) == frozenset({1})
+
+    def test_chaos_none(self):
+        cm = LeaderElectionCM(stable_round=10, chaos="none")
+        assert cm.advise(0, [1, 2]) == frozenset()
+
+    def test_chaos_random_deterministic_by_seed(self):
+        a = LeaderElectionCM(stable_round=100, chaos="random", seed=5)
+        b = LeaderElectionCM(stable_round=100, chaos="random", seed=5)
+        for r in range(20):
+            assert a.advise(r, [0, 1, 2, 3]) == b.advise(r, [0, 1, 2, 3])
+
+    def test_property3_eventually_one_leader(self):
+        cm = LeaderElectionCM(stable_round=5, chaos="random", seed=0)
+        for r in range(5, 50):
+            assert len(cm.advise(r, [0, 1, 2])) == 1
+
+    def test_property3_advises_only_contenders(self):
+        cm = LeaderElectionCM(stable_round=0)
+        for r in range(10):
+            advice = cm.advise(r, [4, 7])
+            assert advice <= {4, 7}
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LeaderElectionCM(stable_round=-1)
+        with pytest.raises(ConfigurationError):
+            LeaderElectionCM(chaos="sometimes")  # type: ignore[arg-type]
+
+
+class TestFixedLeaderCM:
+    def test_advises_leader_when_contending(self):
+        cm = FixedLeaderCM(leader=2)
+        assert cm.advise(0, [1, 2, 3]) == frozenset({2})
+
+    def test_nobody_when_leader_absent(self):
+        cm = FixedLeaderCM(leader=2)
+        assert cm.advise(0, [1, 3]) == frozenset()
+
+
+class TestScriptedCM:
+    def test_script_followed(self):
+        cm = ScriptedCM({0: [1], 1: [2, 3]})
+        assert cm.advise(0, [1, 2, 3]) == frozenset({1})
+        assert cm.advise(1, [1, 2, 3]) == frozenset({2, 3})
+
+    def test_missing_round_advises_nobody(self):
+        cm = ScriptedCM({})
+        assert cm.advise(9, [1]) == frozenset()
+
+    def test_clipped_to_contenders(self):
+        cm = ScriptedCM({0: [1, 9]})
+        assert cm.advise(0, [1]) == frozenset({1})

@@ -1,0 +1,89 @@
+"""Unit tests for the regional contention manager of Section 4.2."""
+
+import pytest
+
+from repro.contention import RegionalCM
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+
+
+def make_cm(positions, **kwargs):
+    defaults = dict(
+        location=Point(0, 0),
+        region_radius=0.25,
+        locate=lambda node: positions[node],
+    )
+    defaults.update(kwargs)
+    return RegionalCM(**defaults)
+
+
+class TestRegionalCM:
+    def test_elects_closest_contender(self):
+        positions = {0: Point(0.2, 0), 1: Point(0.05, 0), 2: Point(0.1, 0)}
+        cm = make_cm(positions)
+        assert cm.advise(0, [0, 1, 2]) == frozenset({1})
+        assert cm.leader == 1
+
+    def test_out_of_region_contenders_ignored(self):
+        positions = {0: Point(5, 5), 1: Point(0.1, 0)}
+        cm = make_cm(positions)
+        assert cm.advise(0, [0, 1]) == frozenset({1})
+
+    def test_no_eligible_contenders(self):
+        positions = {0: Point(5, 5)}
+        cm = make_cm(positions)
+        assert cm.advise(0, [0]) == frozenset()
+        assert cm.leader is None
+
+    def test_sitting_leader_retained(self):
+        positions = {0: Point(0.2, 0), 1: Point(0.05, 0)}
+        cm = make_cm(positions)
+        cm.advise(0, [0, 1])
+        # Node 0 becomes closer, but the sitting leader (1) is retained.
+        positions[0] = Point(0.01, 0)
+        assert cm.advise(1, [0, 1]) == frozenset({1})
+
+    def test_reelection_when_leader_leaves_region(self):
+        positions = {0: Point(0.2, 0), 1: Point(0.05, 0)}
+        cm = make_cm(positions)
+        cm.advise(0, [0, 1])
+        positions[1] = Point(3, 3)  # leader walks away
+        assert cm.advise(1, [0, 1]) == frozenset({0})
+
+    def test_reelection_when_leader_stops_contending(self):
+        positions = {0: Point(0.2, 0), 1: Point(0.05, 0)}
+        cm = make_cm(positions)
+        cm.advise(0, [0, 1])
+        assert cm.advise(1, [0]) == frozenset({0})
+
+    def test_unknown_location_treated_as_out_of_region(self):
+        cm = RegionalCM(
+            location=Point(0, 0), region_radius=1.0,
+            locate=lambda node: (_ for _ in ()).throw(KeyError(node)),
+        )
+        assert cm.advise(0, [0]) == frozenset()
+
+    def test_pre_stability_chaos_lets_everyone_through(self):
+        positions = {0: Point(0.1, 0), 1: Point(0.2, 0)}
+        cm = make_cm(positions, stable_round=5)
+        assert cm.advise(0, [0, 1]) == frozenset({0, 1})
+        assert len(cm.advise(5, [0, 1])) == 1
+
+    def test_leader_age(self):
+        positions = {0: Point(0.1, 0)}
+        cm = make_cm(positions)
+        cm.advise(3, [0])
+        assert cm.leader_age(10) == 7
+
+    def test_ties_break_by_node_id(self):
+        positions = {2: Point(0.1, 0), 1: Point(0.1, 0)}
+        cm = make_cm(positions)
+        assert cm.advise(0, [1, 2]) == frozenset({1})
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            RegionalCM(location=Point(0, 0), region_radius=0,
+                       locate=lambda n: Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            RegionalCM(location=Point(0, 0), region_radius=1,
+                       locate=lambda n: Point(0, 0), tenure=-1)

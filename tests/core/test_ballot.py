@@ -1,0 +1,73 @@
+"""Unit tests for ballots, their total order, and canonical keys."""
+
+import pytest
+
+from repro.core import Ballot, canonical_key
+from repro.core.ballot import BallotPayload, VetoPayload
+
+
+class TestCanonicalKey:
+    def test_ints_ordered(self):
+        assert canonical_key(1) < canonical_key(2)
+
+    def test_strings_ordered(self):
+        assert canonical_key("a") < canonical_key("b")
+
+    def test_cross_type_total_order(self):
+        # Tags impose: bool < int < float < str < bytes < seq < set.
+        assert canonical_key(True) < canonical_key(5)
+        assert canonical_key(10**9) < canonical_key("a")
+        assert canonical_key("zzz") < canonical_key(b"a")
+        assert canonical_key(b"zz") < canonical_key((1,))
+
+    def test_tuples_recursive(self):
+        assert canonical_key((1, "a")) < canonical_key((1, "b"))
+        assert canonical_key((1,)) < canonical_key((1, "a"))
+
+    def test_frozenset_order_insensitive(self):
+        assert canonical_key(frozenset({1, 2})) == canonical_key(frozenset({2, 1}))
+
+    def test_lists_and_tuples_equivalent(self):
+        assert canonical_key([1, 2]) == canonical_key((1, 2))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_key(object())
+        with pytest.raises(TypeError):
+            canonical_key({"dict": 1})
+
+
+class TestBallotOrder:
+    def test_value_dominates(self):
+        assert Ballot("a", 99) < Ballot("b", 0)
+
+    def test_prev_instance_breaks_ties(self):
+        assert Ballot("a", 1) < Ballot("a", 2)
+
+    def test_min_is_deterministic(self):
+        ballots = [Ballot("c", 0), Ballot("a", 5), Ballot("b", 1)]
+        assert min(ballots) == Ballot("a", 5)
+
+    def test_equal_ballots(self):
+        assert Ballot("x", 3) == Ballot("x", 3)
+
+    def test_sorting_mixed_value_types(self):
+        ballots = [Ballot("s", 0), Ballot(2, 0), Ballot((1, 2), 0)]
+        ordered = sorted(ballots)
+        assert [b.value for b in ordered] == [2, "s", (1, 2)]
+
+    def test_total_ordering_operators(self):
+        a, b = Ballot("a", 0), Ballot("b", 0)
+        assert a <= b and a < b and b > a and b >= a
+
+
+class TestPayloads:
+    def test_ballot_payload_fields(self):
+        p = BallotPayload("tag", 7, Ballot("v", 6))
+        assert p.tag == "tag" and p.instance == 7 and p.ballot.value == "v"
+
+    def test_payloads_frozen_and_hashable(self):
+        p = VetoPayload("t", 1, 2)
+        assert hash(p) == hash(VetoPayload("t", 1, 2))
+        with pytest.raises(Exception):
+            p.instance = 9  # type: ignore[misc]

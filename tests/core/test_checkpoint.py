@@ -1,0 +1,145 @@
+"""Tests for checkpoint-CHA (Section 3.5): folding, GC, bounded space."""
+
+import pytest
+
+from repro.contention import LeaderElectionCM
+from repro.core import CheckpointCHAProcess, run_cha
+from repro.core.checkpoint import CheckpointChaCore, CheckpointOutput
+from repro.detectors import EventuallyAccurateDetector
+from repro.net import RandomLossAdversary
+from repro.types import BOTTOM, Color
+
+
+def tuple_reducer(state, k, value):
+    """State is the tuple of decided (instance, value) pairs: the state
+    *is* the folded history, which lets tests check agreement by prefix."""
+    if value is BOTTOM:
+        return state
+    return state + ((k, value),)
+
+
+def make_core(values=None):
+    values = values or {}
+    return CheckpointChaCore(
+        propose=lambda k: values.get(k, f"v{k}"),
+        reducer=tuple_reducer,
+        initial_state=(),
+    )
+
+
+def run_instance(core, *, clean=True, veto2_collision=False):
+    own = core.begin_instance()
+    core.on_ballot_reception([own.ballot], collision=not clean)
+    core.on_veto1_reception(False, not clean and False)
+    return core.on_veto2_reception(False, veto2_collision)
+
+
+class TestCoreFolding:
+    def test_green_instance_folds_and_outputs_checkpoint(self):
+        core = make_core()
+        k, out = run_instance(core)
+        assert isinstance(out, CheckpointOutput)
+        assert out.checkpoint_instance == 1
+        assert out.checkpoint_state == ((1, "v1"),)
+        assert len(out.suffix) == 0
+
+    def test_yellow_instance_outputs_bottom_and_keeps_state(self):
+        core = make_core()
+        run_instance(core)
+        k, out = run_instance(core, veto2_collision=True)
+        assert out is BOTTOM
+        assert core.checkpoint_instance == 1
+        # The yellow instance's entries are retained (no GC below green).
+        assert 2 in core.status
+
+    def test_gc_discards_entries_below_checkpoint(self):
+        core = make_core()
+        for _ in range(10):
+            run_instance(core)
+        # Only the anchor instance's entries survive.
+        assert set(core.ballots) == {10}
+        assert set(core.status) == {10}
+        assert core.checkpoint_instance == 10
+
+    def test_space_bounded_in_stable_run(self):
+        core = make_core()
+        residents = []
+        for _ in range(50):
+            run_instance(core)
+            residents.append(core.resident_entries())
+        assert max(residents) <= 4
+
+    def test_space_grows_without_green(self):
+        core = make_core()
+        for _ in range(20):
+            run_instance(core, veto2_collision=True)  # all yellow
+        assert core.resident_entries() >= 20
+
+    def test_checkpoint_output_includes(self):
+        core = make_core()
+        run_instance(core)
+        run_instance(core)
+        out = core.current_checkpoint_output()
+        assert out.includes(1) and out.includes(2)
+        assert not out.includes(3)
+
+    def test_fold_skips_bottom_instances(self):
+        core = make_core()
+        run_instance(core)
+        # Orange instance: bad, not folded, then a green one folds over it.
+        own = core.begin_instance()
+        core.on_ballot_reception([own.ballot], collision=False)
+        core.on_veto1_reception(True, False)
+        core.on_veto2_reception(True, False)
+        run_instance(core)
+        assert core.checkpoint_state == ((1, "v1"), (3, "v3"))
+
+
+class TestEnsemble:
+    def make_factory(self):
+        def factory(*, propose, cm_name):
+            return CheckpointCHAProcess(
+                propose=propose, cm_name=cm_name,
+                reducer=tuple_reducer, initial_state=(),
+            )
+        return factory
+
+    def test_checkpoint_states_agree_across_nodes(self):
+        run = run_cha(n=4, instances=15, process_factory=self.make_factory())
+        finals = set()
+        for proc in run.processes.values():
+            cp = proc.checkpoint
+            finals.add((cp.checkpoint_instance, cp.checkpoint_state))
+        assert len(finals) == 1
+
+    def test_checkpoint_states_prefix_consistent_under_adversity(self):
+        run = run_cha(
+            n=4, instances=40,
+            process_factory=self.make_factory(),
+            adversary=RandomLossAdversary(p_drop=0.4, p_false=0.2, seed=11),
+            detector=EventuallyAccurateDetector(racc=75),
+            cm=LeaderElectionCM(stable_round=75, chaos="random", seed=11),
+            rcf=75,
+        )
+        # With the tuple reducer the checkpoint state is the decided
+        # history: all states must be prefix-ordered.
+        states = sorted(
+            (proc.checkpoint.checkpoint_state for proc in run.processes.values()),
+            key=len,
+        )
+        for a, b in zip(states, states[1:]):
+            assert b[:len(a)] == a
+
+    def test_space_advantage_over_plain_cha(self):
+        plain = run_cha(n=3, instances=60)
+        gc = run_cha(n=3, instances=60, process_factory=self.make_factory())
+        plain_resident = plain.processes[0].core.resident_entries()
+        gc_resident = gc.processes[0].core.resident_entries()
+        assert gc_resident < plain_resident
+        assert plain_resident >= 120  # grows linearly: ballots + status
+        assert gc_resident <= 4       # bounded
+
+    def test_outputs_are_checkpoint_outputs(self):
+        run = run_cha(n=2, instances=3, process_factory=self.make_factory())
+        for _, out in run.outputs[0]:
+            assert out is BOTTOM or isinstance(out, CheckpointOutput)

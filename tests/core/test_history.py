@@ -1,0 +1,114 @@
+"""Unit tests for the History datatype."""
+
+import pytest
+
+from repro.core import EMPTY_HISTORY, History
+from repro.types import BOTTOM
+
+
+class TestConstruction:
+    def test_empty_history(self):
+        h = History(0, {})
+        assert h.length == 0
+        assert len(h) == 0
+
+    def test_entries_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            History(2, {3: "v"})
+        with pytest.raises(ValueError):
+            History(2, {0: "v"})
+
+    def test_bottom_values_rejected(self):
+        with pytest.raises(ValueError):
+            History(2, {1: BOTTOM})
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            History(-1, {})
+
+
+class TestLookup:
+    def test_call_returns_value_or_bottom(self):
+        h = History(3, {1: "a", 3: "c"})
+        assert h(1) == "a"
+        assert h(2) is BOTTOM
+        assert h(3) == "c"
+        assert h(99) is BOTTOM
+
+    def test_includes(self):
+        h = History(3, {2: "b"})
+        assert h.includes(2)
+        assert not h.includes(1)
+
+    def test_included_instances_sorted(self):
+        h = History(5, {4: "d", 1: "a"})
+        assert h.included_instances == (1, 4)
+
+    def test_items(self):
+        h = History(2, {1: "a", 2: "b"})
+        assert list(h.items()) == [(1, "a"), (2, "b")]
+
+    def test_last_included(self):
+        assert History(5, {2: "b", 4: "d"}).last_included() == 4
+        assert History(5, {}).last_included() is None
+
+
+class TestEquality:
+    def test_equal_histories(self):
+        assert History(2, {1: "a"}) == History(2, {1: "a"})
+
+    def test_different_length_not_equal(self):
+        assert History(2, {1: "a"}) != History(3, {1: "a"})
+
+    def test_hashable(self):
+        assert len({History(1, {1: "a"}), History(1, {1: "a"})}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert History(0, {}) != "history"
+
+
+class TestPrefixAlgebra:
+    def test_prefix_truncates(self):
+        h = History(5, {1: "a", 3: "c", 5: "e"})
+        p = h.prefix(3)
+        assert p.length == 3
+        assert p(3) == "c"
+        assert not p.includes(5)
+
+    def test_prefix_beyond_length_is_identity(self):
+        h = History(2, {1: "a"})
+        assert h.prefix(10) == h
+
+    def test_agrees_with_symmetric(self):
+        a = History(3, {1: "x", 2: "y"})
+        b = History(5, {1: "x", 2: "y", 5: "z"})
+        assert a.agrees_with(b)
+        assert b.agrees_with(a)
+
+    def test_agrees_with_detects_value_conflict(self):
+        a = History(3, {1: "x"})
+        b = History(3, {1: "DIFFERENT"})
+        assert not a.agrees_with(b)
+
+    def test_agrees_with_detects_bottom_conflict(self):
+        # One history includes instance 2, the other bottoms it: disagree.
+        a = History(3, {1: "x", 2: "y"})
+        b = History(3, {1: "x"})
+        assert not a.agrees_with(b)
+
+    def test_agreement_only_on_common_prefix(self):
+        # Divergence beyond the shorter length is irrelevant.
+        a = History(2, {1: "x"})
+        b = History(5, {1: "x", 4: "q"})
+        assert a.agrees_with(b)
+
+    def test_extends(self):
+        short = History(2, {1: "a"})
+        long = History(4, {1: "a", 4: "d"})
+        assert long.extends(short)
+        assert not short.extends(long)
+
+    def test_empty_history_agrees_with_everything(self):
+        h = History(9, {3: "c"})
+        assert EMPTY_HISTORY.agrees_with(h)
+        assert h.extends(EMPTY_HISTORY)

@@ -1,0 +1,63 @@
+"""Unit tests for the CHA ensemble runner helpers."""
+
+import pytest
+
+from repro.core import cluster_positions, default_proposer, run_cha
+from repro.core.runner import DEFAULT_R1
+from repro.geometry import Point, max_pairwise_distance
+
+
+class TestClusterPositions:
+    def test_all_within_r1_of_each_other(self):
+        # The Section 3 precondition: every pair can communicate.
+        positions = cluster_positions(12)
+        assert max_pairwise_distance(positions) <= DEFAULT_R1
+
+    def test_positions_distinct(self):
+        positions = cluster_positions(8)
+        assert len(set(p.as_tuple() for p in positions)) == 8
+
+    def test_custom_center(self):
+        positions = cluster_positions(4, center=Point(10, 10), radius=0.1)
+        for p in positions:
+            assert Point(10, 10).within(p, 0.1 + 1e-9)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_positions(0)
+
+
+class TestDefaultProposer:
+    def test_fixed_width_values(self):
+        propose = default_proposer(3)
+        assert len(propose(1)) == len(propose(999_999))
+
+    def test_distinct_across_nodes_and_instances(self):
+        a, b = default_proposer(0), default_proposer(1)
+        assert a(1) != b(1)
+        assert a(1) != a(2)
+
+    def test_values_totally_ordered(self):
+        propose = default_proposer(0)
+        assert propose(1) < propose(2)  # zero-padding keeps string order
+
+
+class TestChaRunHelpers:
+    def test_surviving_nodes_without_crashes(self):
+        run = run_cha(n=3, instances=2)
+        assert run.surviving_nodes() == [0, 1, 2]
+
+    def test_outputs_and_proposals_cover_all_nodes(self):
+        run = run_cha(n=4, instances=3)
+        assert set(run.outputs) == set(run.proposals) == {0, 1, 2, 3}
+
+    def test_colors_at_only_survivors(self):
+        from repro.net import CrashSchedule
+        run = run_cha(n=3, instances=5, crashes=CrashSchedule.of({1: 4}))
+        assert set(run.colors_at(5)) == {0, 2}
+
+    def test_history_of_matches_outputs(self):
+        from repro.types import BOTTOM
+        run = run_cha(n=2, instances=6)
+        last_output = [out for _, out in run.outputs[0] if out is not BOTTOM][-1]
+        assert run.history_of(0) == last_output

@@ -1,0 +1,171 @@
+"""Unit tests for the executable CHA specification checkers."""
+
+import pytest
+
+from repro.core import (
+    History,
+    check_agreement,
+    check_all,
+    check_liveness,
+    check_validity,
+    find_liveness_point,
+)
+from repro.errors import SpecViolation
+from repro.types import BOTTOM
+
+
+def H(length, **entries):
+    return History(length, {int(k[1:]): v for k, v in entries.items()})
+
+
+class TestValidity:
+    def test_accepts_proposed_values(self):
+        outputs = {0: [(2, H(2, i1="a", i2="b"))]}
+        proposals = {0: {1: "a", 2: "x"}, 1: {1: "y", 2: "b"}}
+        check_validity(outputs, proposals)
+
+    def test_rejects_invented_value(self):
+        outputs = {0: [(1, H(1, i1="ghost"))]}
+        proposals = {0: {1: "real"}}
+        with pytest.raises(SpecViolation, match="validity"):
+            check_validity(outputs, proposals)
+
+    def test_rejects_value_from_wrong_instance(self):
+        # "a" was proposed, but only for instance 2.
+        outputs = {0: [(2, H(2, i1="a"))]}
+        proposals = {0: {1: "b", 2: "a"}}
+        with pytest.raises(SpecViolation):
+            check_validity(outputs, proposals)
+
+    def test_bottom_outputs_ignored(self):
+        outputs = {0: [(1, BOTTOM), (2, BOTTOM)]}
+        check_validity(outputs, {0: {1: "a", 2: "b"}})
+
+    def test_bottom_entries_inside_history_ignored(self):
+        outputs = {0: [(3, H(3, i3="c"))]}
+        check_validity(outputs, {0: {3: "c"}})
+
+
+class TestAgreement:
+    def test_accepts_prefix_consistent_histories(self):
+        outputs = {
+            0: [(2, H(2, i1="a", i2="b"))],
+            1: [(3, H(3, i1="a", i2="b", i3="c"))],
+        }
+        check_agreement(outputs)
+        check_agreement(outputs, exhaustive=True)
+
+    def test_rejects_value_disagreement(self):
+        outputs = {
+            0: [(2, H(2, i1="a", i2="b"))],
+            1: [(2, H(2, i1="a", i2="DIFFERENT"))],
+        }
+        with pytest.raises(SpecViolation, match="agreement"):
+            check_agreement(outputs)
+        with pytest.raises(SpecViolation, match="agreement"):
+            check_agreement(outputs, exhaustive=True)
+
+    def test_rejects_bottom_vs_value_disagreement(self):
+        outputs = {
+            0: [(2, H(2, i1="a", i2="b"))],
+            1: [(2, H(2, i2="b"))],  # bottoms instance 1
+        }
+        with pytest.raises(SpecViolation):
+            check_agreement(outputs)
+
+    def test_same_node_successive_outputs_must_agree(self):
+        outputs = {
+            0: [(1, H(1, i1="a")), (2, H(2, i1="FLIP", i2="b"))],
+        }
+        with pytest.raises(SpecViolation):
+            check_agreement(outputs)
+
+    def test_rejects_wrong_length_history(self):
+        outputs = {0: [(3, H(2, i1="a"))]}
+        with pytest.raises(SpecViolation, match="length"):
+            check_agreement(outputs)
+
+    def test_all_bottom_execution_trivially_agrees(self):
+        outputs = {0: [(1, BOTTOM)], 1: [(1, BOTTOM)]}
+        check_agreement(outputs)
+
+    def test_empty_outputs(self):
+        check_agreement({})
+
+    def test_divergence_beyond_common_prefix_allowed(self):
+        # Node 1's history is longer; extra instances are not compared.
+        outputs = {
+            0: [(1, H(1, i1="a"))],
+            1: [(3, H(3, i1="a", i3="c"))],
+        }
+        check_agreement(outputs)
+
+
+class TestLiveness:
+    def test_immediately_live_execution(self):
+        outputs = {
+            0: [(1, H(1, i1="a")), (2, H(2, i1="a", i2="b"))],
+            1: [(1, H(1, i1="a")), (2, H(2, i1="a", i2="b"))],
+        }
+        assert find_liveness_point(outputs) == 1
+
+    def test_convergence_after_unstable_prefix(self):
+        outputs = {
+            0: [(1, BOTTOM), (2, H(2, i2="b")), (3, H(3, i2="b", i3="c"))],
+            1: [(1, BOTTOM), (2, H(2, i2="b")), (3, H(3, i2="b", i3="c"))],
+        }
+        assert find_liveness_point(outputs) == 2
+
+    def test_never_converges(self):
+        outputs = {0: [(1, BOTTOM), (2, BOTTOM)]}
+        assert find_liveness_point(outputs) is None
+
+    def test_late_bottom_pushes_kst_later(self):
+        outputs = {0: [
+            (1, H(1, i1="a")),
+            (2, BOTTOM),
+            (3, H(3, i1="a", i3="c")),
+        ]}
+        # kst=1 fails (bottom at instance 2); kst=3 works.
+        assert find_liveness_point(outputs) == 3
+
+    def test_tail_must_include_all_tail_instances(self):
+        # Outputs exist but the history at 3 bottoms instance 2: kst=2
+        # fails, kst=3 works.
+        outputs = {0: [
+            (2, H(2, i2="b")),
+            (3, H(3, i3="c")),
+        ]}
+        assert find_liveness_point(outputs) == 3
+
+    def test_crashed_nodes_exempt_via_alive(self):
+        outputs = {
+            0: [(1, BOTTOM)],
+            1: [(1, H(1, i1="a"))],
+        }
+        assert find_liveness_point(outputs, alive=[1]) == 1
+        assert find_liveness_point(outputs) is None
+
+    def test_check_liveness_bound(self):
+        outputs = {0: [(1, BOTTOM), (2, H(2, i2="b"))]}
+        assert check_liveness(outputs, by_instance=2) == 2
+        with pytest.raises(SpecViolation, match="liveness"):
+            check_liveness(outputs, by_instance=1)
+
+    def test_check_liveness_no_convergence(self):
+        with pytest.raises(SpecViolation):
+            check_liveness({0: [(1, BOTTOM)]}, by_instance=1)
+
+    def test_empty_nodes(self):
+        assert find_liveness_point({}) is None
+
+
+class TestCheckAll:
+    def test_combined_happy_path(self):
+        outputs = {0: [(1, H(1, i1="a"))]}
+        proposals = {0: {1: "a"}}
+        assert check_all(outputs, proposals, liveness_by=1) == 1
+
+    def test_without_liveness(self):
+        outputs = {0: [(1, BOTTOM)]}
+        assert check_all(outputs, {0: {1: "a"}}) is None

@@ -1,0 +1,96 @@
+"""Unit tests for collision detectors (Properties 1 and 2)."""
+
+import pytest
+
+from repro.detectors import (
+    CompleteOnlyDetector,
+    EventuallyAccurateDetector,
+    PerfectDetector,
+)
+from repro.errors import ConfigurationError
+from repro.net.channel import Reception
+
+QUIET = Reception(messages=(), lost_within_r1=False, lost_within_r2=False)
+R1_LOSS = Reception(messages=(), lost_within_r1=True, lost_within_r2=True)
+RING_LOSS = Reception(messages=(), lost_within_r1=False, lost_within_r2=True)
+
+
+class TestEventuallyAccurate:
+    def test_complete_on_r1_loss(self):
+        d = EventuallyAccurateDetector(racc=100)
+        assert d.indicate(0, 0, R1_LOSS, spurious=False)
+        assert d.indicate(1_000, 0, R1_LOSS, spurious=False)
+
+    def test_reports_ring_loss(self):
+        d = EventuallyAccurateDetector(racc=0)
+        assert d.indicate(0, 0, RING_LOSS, spurious=False)
+
+    def test_spurious_honoured_before_racc(self):
+        d = EventuallyAccurateDetector(racc=10)
+        assert d.indicate(9, 0, QUIET, spurious=True)
+
+    def test_spurious_suppressed_from_racc(self):
+        d = EventuallyAccurateDetector(racc=10)
+        assert not d.indicate(10, 0, QUIET, spurious=True)
+
+    def test_quiet_round_no_report(self):
+        d = EventuallyAccurateDetector(racc=0)
+        assert not d.indicate(0, 0, QUIET, spurious=False)
+
+    def test_negative_racc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventuallyAccurateDetector(racc=-1)
+
+    def test_property1_checker(self):
+        d = EventuallyAccurateDetector()
+        flag = d.indicate(0, 0, R1_LOSS, spurious=False)
+        assert d.is_complete_for(R1_LOSS, flag)
+
+    def test_property2_checker(self):
+        d = EventuallyAccurateDetector(racc=0)
+        for reception in (QUIET, RING_LOSS, R1_LOSS):
+            flag = d.indicate(5, 0, reception, spurious=False)
+            assert d.is_accurate_for(reception, flag)
+
+
+class TestPerfect:
+    def test_reports_exactly_r1_losses(self):
+        d = PerfectDetector()
+        assert d.indicate(0, 0, R1_LOSS, spurious=True)
+        assert not d.indicate(0, 0, RING_LOSS, spurious=True)
+        assert not d.indicate(0, 0, QUIET, spurious=True)
+
+    def test_always_accurate_and_complete(self):
+        d = PerfectDetector()
+        for reception in (QUIET, RING_LOSS, R1_LOSS):
+            flag = d.indicate(0, 0, reception, spurious=False)
+            assert d.is_complete_for(reception, flag)
+            assert d.is_accurate_for(reception, flag)
+
+
+class TestCompleteOnly:
+    def test_complete(self):
+        d = CompleteOnlyDetector(p_false=0.0)
+        assert d.indicate(0, 0, R1_LOSS, spurious=False)
+
+    def test_false_positives_never_cease(self):
+        d = CompleteOnlyDetector(p_false=1.0)
+        # Accurate detectors must eventually stop false-reporting; this one
+        # reports on quiet rounds forever.
+        assert all(d.indicate(r, 0, QUIET, spurious=False) for r in range(1000))
+
+    def test_deterministic_per_round_and_node(self):
+        a = CompleteOnlyDetector(p_false=0.5, seed=7)
+        b = CompleteOnlyDetector(p_false=0.5, seed=7)
+        flags_a = [a.indicate(r, n, QUIET, False) for r in range(50) for n in range(3)]
+        flags_b = [b.indicate(r, n, QUIET, False) for r in range(50) for n in range(3)]
+        assert flags_a == flags_b
+
+    def test_rate_roughly_respected(self):
+        d = CompleteOnlyDetector(p_false=0.3, seed=1)
+        hits = sum(d.indicate(r, 0, QUIET, False) for r in range(2000))
+        assert 450 < hits < 750
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            CompleteOnlyDetector(p_false=2.0)

@@ -1,0 +1,100 @@
+"""Unit tests for plane-geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    ORIGIN,
+    Point,
+    centroid,
+    max_pairwise_distance,
+    pairwise_distances,
+)
+
+
+class TestPoint:
+    def test_distance_symmetric(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.distance_to(b) == 5.0
+        assert b.distance_to(a) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_within_is_inclusive_on_boundary(self):
+        assert Point(0, 0).within(Point(3, 4), 5.0)
+
+    def test_within_false_outside(self):
+        assert not Point(0, 0).within(Point(3, 4), 4.999)
+
+    def test_within_exact_for_integers(self):
+        # Squared-distance comparison avoids sqrt rounding.
+        assert Point(0, 0).within(Point(1, 1), math.sqrt(2) + 1e-9)
+
+    def test_add_sub_roundtrip(self):
+        a, b = Point(1, 2), Point(-3, 5)
+        assert (a + b) - b == a
+
+    def test_scaled(self):
+        assert Point(1, -2).scaled(3) == Point(3, -6)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_unit_of_zero_vector_is_zero(self):
+        assert Point(0, 0).unit() == Point(0, 0)
+
+    def test_unit_has_norm_one(self):
+        u = Point(3, 4).unit()
+        assert math.isclose(u.norm(), 1.0)
+
+    def test_moved_toward_does_not_overshoot(self):
+        a, target = Point(0, 0), Point(1, 0)
+        assert a.moved_toward(target, 5.0) == target
+
+    def test_moved_toward_partial(self):
+        a, target = Point(0, 0), Point(10, 0)
+        assert a.moved_toward(target, 4.0) == Point(4.0, 0.0)
+
+    def test_moved_toward_zero_step_stays(self):
+        a, target = Point(1, 1), Point(2, 2)
+        assert a.moved_toward(target, 0.0) == a
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert hash(p) == hash(Point(1, 2))
+        with pytest.raises(Exception):
+            p.x = 3  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_centroid_single_point(self):
+        assert centroid([Point(2, 3)]) == Point(2, 3)
+
+    def test_centroid_square(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(square) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_pairwise_distances_count(self):
+        pts = [Point(i, 0) for i in range(4)]
+        assert len(list(pairwise_distances(pts))) == 6
+
+    def test_max_pairwise_distance(self):
+        pts = [Point(0, 0), Point(1, 0), Point(5, 0)]
+        assert max_pairwise_distance(pts) == 5.0
+
+    def test_max_pairwise_distance_degenerate(self):
+        assert max_pairwise_distance([]) == 0.0
+        assert max_pairwise_distance([Point(1, 1)]) == 0.0
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)

@@ -1,0 +1,82 @@
+"""Unit tests for disks and virtual-node grids."""
+
+import pytest
+
+from repro.geometry import Disk, GridSpec, Point
+
+
+class TestDisk:
+    def test_contains_center(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert d.contains(Point(0, 0))
+
+    def test_contains_boundary(self):
+        d = Disk(Point(0, 0), 5.0)
+        assert d.contains(Point(3, 4))
+
+    def test_not_contains_outside(self):
+        d = Disk(Point(0, 0), 1.0)
+        assert not d.contains(Point(2, 0))
+
+    def test_zero_radius_disk_is_a_point(self):
+        d = Disk(Point(1, 1), 0.0)
+        assert d.contains(Point(1, 1))
+        assert not d.contains(Point(1, 1.001))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(Point(0, 0), -1.0)
+
+    def test_intersects_overlapping(self):
+        assert Disk(Point(0, 0), 1.0).intersects(Disk(Point(1.5, 0), 1.0))
+
+    def test_intersects_tangent(self):
+        assert Disk(Point(0, 0), 1.0).intersects(Disk(Point(2, 0), 1.0))
+
+    def test_not_intersects_disjoint(self):
+        assert not Disk(Point(0, 0), 1.0).intersects(Disk(Point(3, 0), 1.0))
+
+
+class TestGridSpec:
+    def test_site_coordinates(self):
+        g = GridSpec(rows=2, cols=3, spacing=10.0)
+        assert g.site(0, 0) == Point(0, 0)
+        assert g.site(1, 2) == Point(20, 10)
+
+    def test_origin_offset(self):
+        g = GridSpec(rows=1, cols=1, spacing=5.0, origin=Point(100, 200))
+        assert g.site(0, 0) == Point(100, 200)
+
+    def test_out_of_range_raises(self):
+        g = GridSpec(rows=2, cols=2, spacing=1.0)
+        with pytest.raises(IndexError):
+            g.site(2, 0)
+        with pytest.raises(IndexError):
+            g.site(0, -1)
+
+    def test_sites_row_major_order(self):
+        g = GridSpec(rows=2, cols=2, spacing=1.0)
+        assert list(g.sites()) == [
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1),
+        ]
+
+    def test_len(self):
+        assert len(GridSpec(rows=3, cols=4, spacing=1.0)) == 12
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridSpec(rows=0, cols=1, spacing=1.0)
+        with pytest.raises(ValueError):
+            GridSpec(rows=1, cols=1, spacing=0.0)
+
+    def test_nearest_site_exact(self):
+        g = GridSpec(rows=3, cols=3, spacing=10.0)
+        assert g.nearest_site(Point(10, 20)) == (2, 1)
+
+    def test_nearest_site_rounds(self):
+        g = GridSpec(rows=3, cols=3, spacing=10.0)
+        assert g.nearest_site(Point(14, 4)) == (0, 1)
+
+    def test_nearest_site_clamps_to_grid(self):
+        g = GridSpec(rows=2, cols=2, spacing=10.0)
+        assert g.nearest_site(Point(-50, 500)) == (1, 0)

@@ -1,0 +1,94 @@
+"""Property-based tests for channel reception semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point
+from repro.net import Message, RadioSpec
+from repro.net.channel import Channel
+
+coords = st.floats(min_value=-5.0, max_value=5.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def worlds(draw, max_nodes=8):
+    count = draw(st.integers(1, max_nodes))
+    positions = {i: Point(draw(coords), draw(coords)) for i in range(count)}
+    senders = draw(st.sets(st.sampled_from(sorted(positions)), max_size=count))
+    broadcasts = {s: Message(s, f"m{s}") for s in senders}
+    return positions, broadcasts
+
+
+SPEC = RadioSpec(r1=1.0, r2=2.0, rcf=0)
+
+
+class TestChannelProperties:
+    @given(worlds())
+    def test_r1_loss_implies_r2_loss(self, world):
+        positions, broadcasts = world
+        channel = Channel(SPEC)
+        for rec in channel.deliver(0, positions, broadcasts).values():
+            assert not rec.lost_within_r1 or rec.lost_within_r2
+
+    @given(worlds())
+    def test_delivered_senders_are_within_r1(self, world):
+        positions, broadcasts = world
+        channel = Channel(SPEC)
+        receptions = channel.deliver(0, positions, broadcasts)
+        for receiver, rec in receptions.items():
+            for msg in rec.messages:
+                if msg.sender == receiver:
+                    continue  # loopback of own broadcast
+                assert positions[msg.sender].within(
+                    positions[receiver], SPEC.r1,
+                )
+
+    @given(worlds())
+    def test_completeness_ground_truth(self, world):
+        """lost_within_r1 is set exactly when an R1 sender went missing."""
+        positions, broadcasts = world
+        channel = Channel(SPEC)
+        receptions = channel.deliver(0, positions, broadcasts)
+        for receiver, rec in receptions.items():
+            got = {m.sender for m in rec.messages}
+            in_r1 = {
+                s for s in broadcasts
+                if s != receiver
+                and positions[s].within(positions[receiver], SPEC.r1)
+            }
+            assert rec.lost_within_r1 == bool(in_r1 - got)
+
+    @given(worlds())
+    def test_broadcaster_hears_exactly_itself(self, world):
+        positions, broadcasts = world
+        channel = Channel(SPEC)
+        receptions = channel.deliver(0, positions, broadcasts)
+        for sender in broadcasts:
+            senders_heard = {m.sender for m in receptions[sender].messages}
+            assert senders_heard == {sender}
+
+    @given(worlds())
+    def test_listener_with_quiet_neighbourhood_hears_all(self, world):
+        positions, broadcasts = world
+        channel = Channel(SPEC)
+        receptions = channel.deliver(0, positions, broadcasts)
+        for receiver, rec in receptions.items():
+            if receiver in broadcasts:
+                continue
+            in_r2 = [
+                s for s in broadcasts
+                if positions[s].within(positions[receiver], SPEC.r2)
+            ]
+            if len(in_r2) <= 1:
+                in_r1 = [
+                    s for s in broadcasts
+                    if positions[s].within(positions[receiver], SPEC.r1)
+                ]
+                assert {m.sender for m in rec.messages} == set(in_r1)
+
+    @given(worlds())
+    def test_determinism(self, world):
+        positions, broadcasts = world
+        a = Channel(SPEC).deliver(0, positions, broadcasts)
+        b = Channel(SPEC).deliver(0, positions, broadcasts)
+        assert a == b

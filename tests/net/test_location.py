@@ -1,0 +1,51 @@
+"""Unit tests for the GPS-style location service."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.net import LocationService
+
+
+class TestLocationService:
+    def test_fresh_service_tracks_exactly(self):
+        svc = LocationService(update_period=1)
+        svc.observe(0, {0: Point(1, 1)})
+        assert svc.locate(0) == Point(1, 1)
+        svc.observe(1, {0: Point(2, 2)})
+        assert svc.locate(0) == Point(2, 2)
+
+    def test_stale_service_holds_old_fix(self):
+        svc = LocationService(update_period=3)
+        svc.observe(0, {0: Point(0, 0)})
+        svc.observe(1, {0: Point(1, 0)})
+        svc.observe(2, {0: Point(2, 0)})
+        assert svc.locate(0) == Point(0, 0)
+        svc.observe(3, {0: Point(3, 0)})
+        assert svc.locate(0) == Point(3, 0)
+
+    def test_new_node_gets_first_fix_between_updates(self):
+        svc = LocationService(update_period=5)
+        svc.observe(0, {0: Point(0, 0)})
+        svc.observe(1, {0: Point(1, 0), 7: Point(9, 9)})
+        assert svc.locate(7) == Point(9, 9)
+        assert svc.locate(0) == Point(0, 0)  # existing fix unchanged
+
+    def test_unknown_node_raises(self):
+        svc = LocationService()
+        with pytest.raises(KeyError):
+            svc.locate(42)
+
+    def test_locator_for(self):
+        svc = LocationService()
+        svc.observe(0, {3: Point(4, 5)})
+        locator = svc.locator_for(3)
+        assert locator() == Point(4, 5)
+
+    def test_staleness_bound(self):
+        assert LocationService(update_period=1).staleness_bound == 0
+        assert LocationService(update_period=4).staleness_bound == 3
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            LocationService(update_period=0)

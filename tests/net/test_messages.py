@@ -1,0 +1,73 @@
+"""Unit tests for message envelopes and wire-size accounting."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.ballot import Ballot, BallotPayload, VetoPayload
+from repro.net.messages import (
+    CONTAINER_OVERHEAD,
+    INT_SIZE,
+    Message,
+    NONE_SIZE,
+    wire_size,
+)
+
+
+class TestWireSize:
+    def test_none(self):
+        assert wire_size(None) == NONE_SIZE
+
+    def test_bool_is_one_byte(self):
+        assert wire_size(True) == 1
+        assert wire_size(False) == 1
+
+    def test_int_constant_regardless_of_magnitude(self):
+        assert wire_size(0) == wire_size(10**100) == INT_SIZE
+
+    def test_float(self):
+        assert wire_size(1.5) == 8
+
+    def test_str_length_prefixed(self):
+        assert wire_size("abc") == CONTAINER_OVERHEAD + 3
+
+    def test_bytes(self):
+        assert wire_size(b"abcd") == CONTAINER_OVERHEAD + 4
+
+    def test_tuple_sums_elements(self):
+        assert wire_size((1, 2)) == CONTAINER_OVERHEAD + 2 * INT_SIZE
+
+    def test_nested_containers(self):
+        inner = wire_size((1,))
+        assert wire_size(((1,), (1,))) == CONTAINER_OVERHEAD + 2 * inner
+
+    def test_dict(self):
+        assert wire_size({"a": 1}) == CONTAINER_OVERHEAD + wire_size("a") + INT_SIZE
+
+    def test_dataclass_encoded_as_fields(self):
+        b = Ballot("v", 3)
+        assert wire_size(b) == CONTAINER_OVERHEAD + wire_size("v") + INT_SIZE
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            wire_size(object())
+
+    def test_ballot_payload_size_independent_of_instance(self):
+        # Theorem 14: instance pointers are constant size.
+        small = BallotPayload("t", 1, Ballot("vv", 0))
+        large = BallotPayload("t", 10**9, Ballot("vv", 10**9 - 1))
+        assert wire_size(small) == wire_size(large)
+
+    def test_veto_payload_constant(self):
+        assert wire_size(VetoPayload("t", 1, 1)) == wire_size(VetoPayload("t", 999, 2))
+
+
+class TestMessage:
+    def test_size_property_matches_wire_size(self):
+        m = Message(sender=3, payload=("x", 1))
+        assert m.size == wire_size(("x", 1))
+
+    def test_message_is_frozen(self):
+        m = Message(sender=0, payload="p")
+        with pytest.raises(Exception):
+            m.payload = "q"  # type: ignore[misc]

@@ -1,0 +1,118 @@
+"""Unit tests for mobility models."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.net.mobility import (
+    LinearMobility,
+    OrbitMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+    WaypointMobility,
+)
+
+
+class TestStatic:
+    def test_never_moves(self):
+        m = StaticMobility(Point(1, 2))
+        assert m.position_at(0) == m.position_at(1000) == Point(1, 2)
+
+    def test_max_speed_zero(self):
+        assert StaticMobility(Point(0, 0)).max_speed() == 0.0
+
+
+class TestLinear:
+    def test_positions_follow_velocity(self):
+        m = LinearMobility(Point(0, 0), Point(1, -2))
+        assert m.position_at(0) == Point(0, 0)
+        assert m.position_at(3) == Point(3, -6)
+
+    def test_max_speed_is_velocity_norm(self):
+        m = LinearMobility(Point(0, 0), Point(3, 4))
+        assert m.max_speed() == 5.0
+
+
+class TestWaypoint:
+    def test_walks_through_waypoints(self):
+        m = WaypointMobility(Point(0, 0), [Point(2, 0), Point(2, 2)], speed=1.0)
+        assert m.position_at(1) == Point(1, 0)
+        assert m.position_at(2) == Point(2, 0)
+        assert m.position_at(3) == Point(2, 1)
+        assert m.position_at(4) == Point(2, 2)
+
+    def test_parks_at_final_waypoint(self):
+        m = WaypointMobility(Point(0, 0), [Point(1, 0)], speed=1.0)
+        assert m.position_at(100) == Point(1, 0)
+
+    def test_respects_speed_bound(self):
+        m = WaypointMobility(Point(0, 0), [Point(10, 0)], speed=0.5)
+        for r in range(20):
+            step = m.position_at(r).distance_to(m.position_at(r + 1))
+            assert step <= 0.5 + 1e-12
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointMobility(Point(0, 0), [Point(1, 0)], speed=-1.0)
+
+
+class TestRandomWaypoint:
+    def test_deterministic_given_seed(self):
+        kwargs = dict(arena=(0, 0, 10, 10), speed=0.7, seed=42)
+        a = RandomWaypointMobility(Point(5, 5), **kwargs)
+        b = RandomWaypointMobility(Point(5, 5), **kwargs)
+        assert [a.position_at(r) for r in range(50)] == [
+            b.position_at(r) for r in range(50)
+        ]
+
+    def test_stays_in_arena(self):
+        m = RandomWaypointMobility(
+            Point(5, 5), arena=(0, 0, 10, 10), speed=2.0, seed=1,
+        )
+        for r in range(200):
+            p = m.position_at(r)
+            assert 0 <= p.x <= 10 and 0 <= p.y <= 10
+
+    def test_respects_vmax(self):
+        m = RandomWaypointMobility(
+            Point(5, 5), arena=(0, 0, 10, 10), speed=0.3, seed=2,
+        )
+        for r in range(100):
+            assert m.position_at(r).distance_to(m.position_at(r + 1)) <= 0.3 + 1e-12
+
+    def test_invalid_arena_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Point(0, 0), arena=(0, 0, 0, 10), speed=1, seed=0)
+
+    def test_random_access_matches_sequential(self):
+        m = RandomWaypointMobility(Point(5, 5), arena=(0, 0, 10, 10), speed=1, seed=3)
+        late = m.position_at(30)
+        assert m.position_at(30) == late
+        assert m.position_at(15) == m.position_at(15)
+
+
+class TestOrbit:
+    def test_stays_within_bounding_box(self):
+        m = OrbitMobility(Point(0, 0), radius=1.0, speed=0.5)
+        for r in range(100):
+            p = m.position_at(r)
+            assert abs(p.x) <= 1.0 + 1e-9 and abs(p.y) <= 1.0 + 1e-9
+
+    def test_respects_speed(self):
+        m = OrbitMobility(Point(0, 0), radius=2.0, speed=0.25)
+        for r in range(100):
+            assert m.position_at(r).distance_to(m.position_at(r + 1)) <= 0.25 + 1e-9
+
+    def test_period_wraps(self):
+        # Perimeter is 8*radius; with speed 1 and radius 1 the period is 8.
+        m = OrbitMobility(Point(0, 0), radius=1.0, speed=1.0)
+        assert m.position_at(0) == m.position_at(8)
+
+    def test_zero_speed_parks_at_corner(self):
+        m = OrbitMobility(Point(0, 0), radius=1.0, speed=0.0)
+        assert m.position_at(0) == m.position_at(57)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            OrbitMobility(Point(0, 0), radius=0.0, speed=1.0)

@@ -1,0 +1,253 @@
+"""Integration tests for the synchronous round engine."""
+
+import pytest
+
+from repro.contention import FixedLeaderCM, LeaderElectionCM
+from repro.detectors import PerfectDetector
+from repro.errors import ConfigurationError, SimulationError
+from repro.geometry import Point
+from repro.net import (
+    Crash,
+    CrashPoint,
+    CrashSchedule,
+    LinearMobility,
+    Message,
+    Process,
+    RadioSpec,
+    Simulator,
+)
+
+
+class Chatter(Process):
+    """Broadcasts a tagged payload every round and logs receptions."""
+
+    def __init__(self, label, cm_name=None):
+        self.label = label
+        self.cm_name = cm_name
+        self.received: list[tuple[int, tuple, bool]] = []
+        self.advice: list[bool] = []
+
+    def contend(self, r):
+        return self.cm_name
+
+    def send(self, r, active):
+        self.advice.append(active)
+        if self.cm_name is not None and not active:
+            return None
+        return f"{self.label}@{r}"
+
+    def deliver(self, r, messages, collision):
+        self.received.append((r, tuple(m.payload for m in messages), collision))
+
+
+class Listener(Process):
+    def __init__(self):
+        self.received: list[tuple[int, tuple, bool]] = []
+
+    def send(self, r, active):
+        return None
+
+    def deliver(self, r, messages, collision):
+        self.received.append((r, tuple(m.payload for m in messages), collision))
+
+
+def make_sim(**kwargs):
+    defaults = dict(spec=RadioSpec(r1=1.0, r2=2.0))
+    defaults.update(kwargs)
+    return Simulator(**defaults)
+
+
+class TestBasics:
+    def test_single_broadcaster_delivers(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(3)
+        assert listener.received == [
+            (0, ("a@0",), False), (1, ("a@1",), False), (2, ("a@2",), False),
+        ]
+
+    def test_two_broadcasters_collide(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.add_node(Chatter("b"), Point(0.2, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(1)
+        assert listener.received == [(0, (), True)]
+
+    def test_trace_records_broadcasts(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        trace = sim.run(2)
+        assert trace.total_broadcasts() == 2
+        assert trace[0].broadcasts[0].payload == "a@0"
+
+    def test_run_returns_cumulative_trace(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(2)
+        trace = sim.run(3)
+        assert len(trace) == 5
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sim().run(-1)
+
+
+class TestContentionWiring:
+    def test_advice_reaches_contenders(self):
+        cm = FixedLeaderCM(leader=1)
+        sim = make_sim(cms={"C": cm})
+        a, b = Chatter("a", "C"), Chatter("b", "C")
+        sim.add_node(a, Point(0, 0))
+        sim.add_node(b, Point(0.2, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(2)
+        assert a.advice == [False, False]
+        assert b.advice == [True, True]
+        assert [m for _, m, _ in listener.received] == [("b@0",), ("b@1",)]
+
+    def test_unknown_cm_raises(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a", "nope"), Point(0, 0))
+        with pytest.raises(SimulationError):
+            sim.run(1)
+
+    def test_advice_clipped_to_contenders(self):
+        # The CM tries to advise node 7, which never contends.
+        cm = FixedLeaderCM(leader=7)
+        sim = make_sim(cms={"C": cm})
+        a = Chatter("a", "C")
+        sim.add_node(a, Point(0, 0))
+        sim.run(1)
+        assert a.advice == [False]
+
+    def test_add_cm_after_construction(self):
+        sim = make_sim()
+        sim.add_cm("C", LeaderElectionCM())
+        a = Chatter("a", "C")
+        sim.add_node(a, Point(0, 0))
+        sim.run(1)
+        assert a.advice == [True]
+
+    def test_duplicate_cm_rejected(self):
+        sim = make_sim(cms={"C": LeaderElectionCM()})
+        with pytest.raises(ConfigurationError):
+            sim.add_cm("C", LeaderElectionCM())
+
+
+class TestCrashes:
+    def test_before_send_crash_silences_node(self):
+        crashes = CrashSchedule([Crash(0, 1, CrashPoint.BEFORE_SEND)])
+        sim = make_sim(crashes=crashes)
+        sim.add_node(Chatter("a"), Point(0, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(3)
+        assert [m for _, m, _ in listener.received] == [("a@0",), (), ()]
+
+    def test_after_send_crash_broadcasts_once_more(self):
+        crashes = CrashSchedule([Crash(0, 1, CrashPoint.AFTER_SEND)])
+        sim = make_sim(crashes=crashes)
+        chatter = Chatter("a")
+        sim.add_node(chatter, Point(0, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(3)
+        assert [m for _, m, _ in listener.received] == [("a@0",), ("a@1",), ()]
+        # The crashing node never saw round 1's receptions.
+        assert [r for r, _, _ in chatter.received] == [0]
+
+    def test_crashed_node_does_not_interfere(self):
+        crashes = CrashSchedule.of({1: 1})
+        sim = make_sim(crashes=crashes)
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.add_node(Chatter("b"), Point(0.2, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(2)
+        # Round 0: both broadcast -> collision.  Round 1: b gone -> clean.
+        assert listener.received[0] == (0, (), True)
+        assert listener.received[1] == (1, ("a@1",), False)
+
+    def test_alive_reflects_crashes(self):
+        crashes = CrashSchedule.of({0: 2})
+        sim = make_sim(crashes=crashes)
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(3)
+        assert not sim.alive(0)
+        assert sim.alive(0, 1)
+
+    def test_crash_recorded_in_trace(self):
+        crashes = CrashSchedule.of({0: 1})
+        sim = make_sim(crashes=crashes)
+        sim.add_node(Chatter("a"), Point(0, 0))
+        trace = sim.run(2)
+        assert 0 in trace[0].crashed
+        assert 0 not in trace[1].crashed
+
+
+class TestDormantNodes:
+    def test_late_start_node_silent_then_active(self):
+        sim = make_sim()
+        sim.add_node(Chatter("late"), Point(0, 0), start_round=2)
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0))
+        sim.run(4)
+        assert [m for _, m, _ in listener.received] == [
+            (), (), ("late@2",), ("late@3",),
+        ]
+
+    def test_dormant_node_receives_nothing(self):
+        sim = make_sim()
+        late = Listener()
+        sim.add_node(late, Point(0.5, 0), start_round=2)
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(4)
+        assert [r for r, _, _ in late.received] == [2, 3]
+
+    def test_negative_start_round_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ConfigurationError):
+            sim.add_node(Listener(), Point(0, 0), start_round=-1)
+
+
+class TestMobilityIntegration:
+    def test_node_moves_out_of_range(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), LinearMobility(Point(0, 0), Point(1.5, 0)))
+        listener = Listener()
+        sim.add_node(listener, Point(0, 0.5))
+        sim.run(3)
+        # Round 0: distance 0.5 (hear).  Round 1: ~1.58 within R2=2: silence
+        # with an R2 loss -> collision indication.  Round 2: beyond R2.
+        assert listener.received[0][1] == ("a@0",)
+        assert listener.received[1] == (1, (), True)
+        assert listener.received[2] == (2, (), False)
+
+    def test_location_service_updated(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), LinearMobility(Point(0, 0), Point(1, 0)))
+        sim.run(3)
+        assert sim.locations.locate(0) == Point(2, 0)
+
+
+class TestDetectorWiring:
+    def test_perfect_detector_ignores_r2_ring_loss(self):
+        sim = make_sim(detector=PerfectDetector())
+        sim.add_node(Chatter("a"), Point(0, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(1.5, 0))  # in the R1..R2 ring
+        sim.run(1)
+        assert listener.received == [(0, (), False)]
+
+    def test_default_detector_reports_r2_ring_loss(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        listener = Listener()
+        sim.add_node(listener, Point(1.5, 0))
+        sim.run(1)
+        assert listener.received == [(0, (), True)]

@@ -1,0 +1,78 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.net import Message
+from repro.net.trace import RoundRecord, Trace
+
+
+def record(r, broadcasts=None, collisions=None):
+    broadcasts = broadcasts or {}
+    return RoundRecord(
+        round=r,
+        positions={0: Point(0, 0)},
+        broadcasts={s: Message(s, p) for s, p in broadcasts.items()},
+        receptions={},
+        collisions=collisions or {},
+        advised_active=frozenset(),
+        crashed=frozenset(),
+    )
+
+
+class TestTrace:
+    def test_append_and_index(self):
+        t = Trace()
+        t.append(record(0))
+        t.append(record(1))
+        assert len(t) == 2
+        assert t[1].round == 1
+
+    def test_rejects_out_of_order_rounds(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.append(record(3))
+
+    def test_total_broadcasts(self):
+        t = Trace()
+        t.append(record(0, broadcasts={0: "a", 1: "b"}))
+        t.append(record(1, broadcasts={0: "c"}))
+        assert t.total_broadcasts() == 3
+
+    def test_message_sizes_ordering(self):
+        t = Trace()
+        t.append(record(0, broadcasts={1: "xx", 0: "y"}))
+        # Sorted by sender id within the round.
+        assert t.message_sizes() == [Message(0, "y").size, Message(1, "xx").size]
+
+    def test_max_and_mean_sizes(self):
+        t = Trace()
+        t.append(record(0, broadcasts={0: "a", 1: "abc"}))
+        sizes = t.message_sizes()
+        assert t.max_message_size() == max(sizes)
+        assert t.mean_message_size() == sum(sizes) / 2
+
+    def test_empty_trace_metrics(self):
+        t = Trace()
+        assert t.max_message_size() == 0
+        assert t.mean_message_size() == 0.0
+
+    def test_collision_rounds(self):
+        t = Trace()
+        t.append(record(0, collisions={0: True}))
+        t.append(record(1, collisions={0: False}))
+        t.append(record(2, collisions={0: True}))
+        assert t.collision_rounds(0) == [0, 2]
+
+    def test_broadcasts_by(self):
+        t = Trace()
+        t.append(record(0, broadcasts={0: "a"}))
+        t.append(record(1, broadcasts={1: "b"}))
+        t.append(record(2, broadcasts={0: "c"}))
+        got = t.broadcasts_by(0)
+        assert [(r, m.payload) for r, m in got] == [(0, "a"), (2, "c")]
+
+    def test_iteration(self):
+        t = Trace()
+        t.append(record(0))
+        assert [rec.round for rec in t] == [0]

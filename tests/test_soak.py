@@ -1,0 +1,77 @@
+"""Cross-cutting randomised soak tests.
+
+Every seeded configuration drives the whole stack — radio, detectors,
+contention, CHAP — and checks the executable CHA specification plus the
+glass-box lemma invariants.  These are the repository's last line of
+defence: any interaction bug between layers shows up here first.
+"""
+
+import pytest
+
+from repro.analysis import check_all_invariants
+from repro.contention import ExponentialBackoffCM, LeaderElectionCM
+from repro.core import check_agreement, check_validity, find_liveness_point, run_cha
+from repro.detectors import EventuallyAccurateDetector
+from repro.net import RandomLossAdversary
+from repro.vi import CounterProgram, ScriptedClient, VIWorld
+from repro.workloads import (
+    random_crash_schedule,
+    single_region,
+    storm_adversary,
+)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_cha_storm_soak(seed):
+    """CHAP through a seeded storm with crashes: safety + invariants."""
+    run = run_cha(
+        n=4 + seed % 3, instances=25,
+        adversary=storm_adversary(intensity=0.3 + 0.05 * (seed % 5), seed=seed),
+        detector=EventuallyAccurateDetector(racc=55),
+        cm=LeaderElectionCM(stable_round=55, chaos="random", seed=seed),
+        crashes=random_crash_schedule(
+            4 + seed % 3, fraction=0.3, horizon=50, seed=seed,
+            spare=frozenset({0}),
+        ),
+        rcf=55,
+    )
+    check_validity(run.outputs, run.proposals)
+    check_agreement(run.outputs)
+    check_all_invariants(run)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_cha_with_realistic_backoff(seed):
+    """A randomised exponential-backoff CM (no oracle) still yields a
+    correct, eventually-live execution."""
+    run = run_cha(
+        n=5, instances=60,
+        cm=ExponentialBackoffCM(seed=seed),
+    )
+    check_validity(run.outputs, run.proposals)
+    check_agreement(run.outputs)
+    kst = find_liveness_point(run.outputs)
+    assert kst is not None, "backoff never converged to a leader"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_emulation_storm_soak(seed):
+    """The full virtual-node emulation under a lossy channel keeps every
+    replica of the virtual node state-consistent."""
+    sites, devices = single_region(4)
+    world = VIWorld(
+        sites, {0: CounterProgram()},
+        adversary=RandomLossAdversary(p_drop=0.25, p_false=0.15, seed=seed),
+        detector=EventuallyAccurateDetector(racc=60),
+        rcf=60,
+        cm_stable_round=60,
+    )
+    for pos in devices:
+        world.add_device(pos)
+    from repro.geometry import Point
+    client = ScriptedClient({vr: ("add", 1) for vr in range(1, 18, 2)})
+    world.add_device(Point(0.4, 0), client=client, initially_active=False)
+    world.run_virtual_rounds(18)
+    world.check_replica_consistency(0)
+    # Post-stabilisation the node must be live.
+    assert all(o.live for o in world.outcomes[0][8:])

@@ -1,0 +1,67 @@
+"""Unit tests for client programs and the client runtime."""
+
+from repro.vi import ScriptedClient, SilentClient, VirtualObservation
+from repro.vi.client import ClientRuntime
+
+
+class TestSilentClient:
+    def test_records_observations(self):
+        c = SilentClient()
+        obs = VirtualObservation((("cl", "x"),), False)
+        assert c.on_round(3, obs) is None
+        assert c.heard == [(3, obs)]
+
+
+class TestScriptedClient:
+    def test_emits_next_rounds_payload(self):
+        c = ScriptedClient({2: "hello"})
+        assert c.on_round(1, VirtualObservation((), False)) == "hello"
+        assert c.on_round(2, VirtualObservation((), False)) is None
+
+    def test_round_zero_payload_via_initial_call(self):
+        c = ScriptedClient({0: "first"})
+        assert c.on_round(-1, VirtualObservation((), False)) == "first"
+
+
+class TestClientRuntime:
+    def test_first_round_feeds_empty_observation(self):
+        program = SilentClient()
+        rt = ClientRuntime(program)
+        rt.begin_virtual_round(0)
+        assert program.heard == [(-1, VirtualObservation((), False))]
+
+    def test_observation_accumulates_both_phases(self):
+        program = SilentClient()
+        rt = ClientRuntime(program)
+        rt.begin_virtual_round(0)
+        rt.observe_client_phase(["a"], collision=False)
+        rt.observe_vn_phase([(7, ("count", 1))], collision=False)
+        rt.begin_virtual_round(1)
+        vr, obs = program.heard[-1]
+        assert vr == 0
+        assert obs.messages == (("cl", "a"), ("vn", 7, ("count", 1)))
+        assert not obs.collision
+
+    def test_collision_flag_sticky_within_round(self):
+        program = SilentClient()
+        rt = ClientRuntime(program)
+        rt.begin_virtual_round(0)
+        rt.observe_client_phase([], collision=True)
+        rt.observe_vn_phase([], collision=False)
+        rt.begin_virtual_round(1)
+        assert program.heard[-1][1].collision
+
+    def test_scratch_resets_between_rounds(self):
+        program = SilentClient()
+        rt = ClientRuntime(program)
+        rt.begin_virtual_round(0)
+        rt.observe_client_phase(["x"], collision=True)
+        rt.begin_virtual_round(1)
+        rt.begin_virtual_round(2)
+        assert program.heard[-1][1] == VirtualObservation((), False)
+
+    def test_emitted_payload_returned(self):
+        rt = ClientRuntime(ScriptedClient({0: "go", 1: "again"}))
+        assert rt.begin_virtual_round(0) == "go"
+        assert rt.begin_virtual_round(1) == "again"
+        assert rt.begin_virtual_round(2) is None

@@ -1,0 +1,73 @@
+"""Unit tests for the eleven-phase clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vi import PHASE_COUNT, Phase, PhaseClock
+
+
+class TestPhaseClock:
+    def test_phase_count_is_eleven(self):
+        # "four parts with a total of eleven phases" (Section 4.3).
+        assert PHASE_COUNT == 11
+
+    def test_rounds_per_virtual_round(self):
+        assert PhaseClock(1).rounds_per_virtual_round == 13
+        assert PhaseClock(4).rounds_per_virtual_round == 16
+
+    def test_offsets_s1(self):
+        clock = PhaseClock(1)
+        phases = [clock.position(r).phase for r in range(13)]
+        assert phases == [
+            Phase.CLIENT, Phase.VN,
+            Phase.SCHED_BALLOT, Phase.SCHED_VETO1, Phase.SCHED_VETO2,
+            Phase.UNSCHED_BALLOT, Phase.UNSCHED_BALLOT, Phase.UNSCHED_BALLOT,
+            Phase.UNSCHED_VETO1, Phase.UNSCHED_VETO2,
+            Phase.JOIN, Phase.JOIN_ACK, Phase.RESET,
+        ]
+
+    def test_unsched_ballot_has_s_plus_2_slots(self):
+        s = 5
+        clock = PhaseClock(s)
+        slots = [
+            clock.position(r).slot
+            for r in range(clock.rounds_per_virtual_round)
+            if clock.position(r).phase is Phase.UNSCHED_BALLOT
+        ]
+        assert slots == list(range(s + 2))
+
+    def test_every_phase_appears_every_virtual_round(self):
+        clock = PhaseClock(3)
+        phases = {
+            clock.position(r).phase
+            for r in range(clock.rounds_per_virtual_round)
+        }
+        assert phases == set(Phase)
+
+    def test_virtual_round_advances(self):
+        clock = PhaseClock(2)
+        rpv = clock.rounds_per_virtual_round
+        assert clock.position(0).virtual_round == 0
+        assert clock.position(rpv - 1).virtual_round == 0
+        assert clock.position(rpv).virtual_round == 1
+        assert clock.position(rpv).phase is Phase.CLIENT
+
+    def test_first_round_of(self):
+        clock = PhaseClock(2)
+        assert clock.first_round_of(0) == 0
+        assert clock.first_round_of(3) == 3 * clock.rounds_per_virtual_round
+
+    def test_rounds_for(self):
+        clock = PhaseClock(1)
+        assert clock.rounds_for(5) == 65
+
+    def test_invalid_schedule_length(self):
+        with pytest.raises(ConfigurationError):
+            PhaseClock(0)
+
+    def test_slot_zero_outside_unsched_ballot(self):
+        clock = PhaseClock(2)
+        for r in range(clock.rounds_per_virtual_round):
+            pos = clock.position(r)
+            if pos.phase is not Phase.UNSCHED_BALLOT:
+                assert pos.slot == 0

@@ -1,0 +1,118 @@
+"""Unit tests for virtual-node programs."""
+
+from repro.vi import (
+    CounterProgram,
+    EchoProgram,
+    MailboxProgram,
+    SilentProgram,
+    VirtualObservation,
+)
+
+
+def obs(*messages, collision=False):
+    return VirtualObservation(tuple(messages), collision)
+
+
+class TestVirtualObservation:
+    def test_unknown_is_bare_collision(self):
+        u = VirtualObservation.unknown()
+        assert u.messages == () and u.collision
+
+    def test_frozen(self):
+        import pytest
+        o = obs()
+        with pytest.raises(Exception):
+            o.collision = True  # type: ignore[misc]
+
+
+class TestSilentProgram:
+    def test_never_emits(self):
+        p = SilentProgram()
+        assert p.emit(p.init_state(), 0) is None
+
+    def test_counts_rounds(self):
+        p = SilentProgram()
+        s = p.init_state()
+        for vr in range(5):
+            s = p.step(s, vr, obs())
+        assert s == 5
+
+
+class TestCounterProgram:
+    def test_adds_client_contributions(self):
+        p = CounterProgram()
+        s = p.step(p.init_state(), 0, obs(("cl", ("add", 3)), ("cl", ("add", 4))))
+        assert s == 7
+
+    def test_ignores_non_add_payloads(self):
+        p = CounterProgram()
+        s = p.step(0, 0, obs(("cl", "hello"), ("vn", 2, ("add", 5))))
+        assert s == 0
+
+    def test_unknown_observation_freezes_state(self):
+        p = CounterProgram()
+        assert p.step(9, 0, VirtualObservation.unknown()) == 9
+
+    def test_emits_count(self):
+        p = CounterProgram()
+        assert p.emit(42, 7) == ("count", 42)
+
+    def test_deterministic(self):
+        p = CounterProgram()
+        o = obs(("cl", ("add", 1)))
+        assert p.step(0, 0, o) == p.step(0, 0, o)
+
+
+class TestEchoProgram:
+    def test_echoes_last_client_payload(self):
+        p = EchoProgram()
+        s = p.step(p.init_state(), 0, obs(("cl", "hello")))
+        assert p.emit(s, 1) == ("echo", "hello")
+
+    def test_silent_until_first_message(self):
+        p = EchoProgram()
+        assert p.emit(p.init_state(), 0) is None
+
+    def test_retains_state_on_silence(self):
+        p = EchoProgram()
+        s = p.step(None, 0, obs(("cl", "x")))
+        s = p.step(s, 1, obs())
+        assert p.emit(s, 2) == ("echo", "x")
+
+
+class TestMailboxProgram:
+    def test_local_delivery_to_inbox(self):
+        p = MailboxProgram(0, next_hop={})
+        s = p.step(p.init_state(), 0, obs(("cl", ("send", 0, 0, "hi"))))
+        inbox, outbox = s
+        assert inbox == ((0, "hi"),) and outbox == ()
+
+    def test_forwarding_enqueues_and_emits(self):
+        p = MailboxProgram(0, next_hop={2: 1})
+        s = p.step(p.init_state(), 0, obs(("cl", ("send", 0, 2, "pkt"))))
+        assert p.emit(s, 1) == ("relay", 1, 2, "pkt")
+
+    def test_emit_dequeues_on_step(self):
+        p = MailboxProgram(0, next_hop={2: 1})
+        s = p.step(p.init_state(), 0, obs(("cl", ("send", 0, 2, "pkt"))))
+        s = p.step(s, 1, obs())
+        assert p.emit(s, 2) is None
+
+    def test_relay_accepted_only_by_named_next_hop(self):
+        relay = ("relay", 1, 2, "pkt")
+        hop1 = MailboxProgram(1, next_hop={2: 2})
+        other = MailboxProgram(3, next_hop={2: 2})
+        s1 = hop1.step(hop1.init_state(), 0, obs(("vn", 0, relay)))
+        s3 = other.step(other.init_state(), 0, obs(("vn", 0, relay)))
+        assert s1 == ((), ((2, "pkt"),))
+        assert s3 == ((), ())
+
+    def test_relay_reaching_destination_lands_in_inbox(self):
+        p = MailboxProgram(2, next_hop={})
+        s = p.step(p.init_state(), 0, obs(("vn", 1, ("relay", 2, 2, "pkt"))))
+        assert s == (((2, "pkt"),), ())
+
+    def test_unroutable_destination_dropped(self):
+        p = MailboxProgram(0, next_hop={})
+        s = p.step(p.init_state(), 0, obs(("cl", ("send", 0, 9, "lost"))))
+        assert s == ((), ())

@@ -1,0 +1,129 @@
+"""Unit tests for virtual-node broadcast schedules (Section 4.1)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.geometry import GridSpec, Point
+from repro.vi import Schedule, VNSite, build_schedule, conflict_graph, verify_schedule
+
+R1, R2 = 1.0, 1.5
+CONFLICT = R1 + 2 * R2  # 4.0
+
+
+def grid_sites(rows, cols, spacing):
+    grid = GridSpec(rows=rows, cols=cols, spacing=spacing)
+    return [VNSite(i, p) for i, p in enumerate(grid.sites())]
+
+
+class TestConflictGraph:
+    def test_close_sites_conflict(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(3.0, 0))]
+        g = conflict_graph(sites, r1=R1, r2=R2)
+        assert g.has_edge(0, 1)
+
+    def test_boundary_distance_conflicts(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(CONFLICT, 0))]
+        g = conflict_graph(sites, r1=R1, r2=R2)
+        assert g.has_edge(0, 1)  # paper requires strictly greater distance
+
+    def test_distant_sites_do_not_conflict(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(CONFLICT + 0.01, 0))]
+        g = conflict_graph(sites, r1=R1, r2=R2)
+        assert not g.has_edge(0, 1)
+
+    def test_all_sites_are_nodes(self):
+        sites = grid_sites(2, 2, 100.0)
+        g = conflict_graph(sites, r1=R1, r2=R2)
+        assert set(g.nodes) == {0, 1, 2, 3}
+
+
+class TestBuildSchedule:
+    def test_isolated_sites_share_slot(self):
+        sites = grid_sites(3, 3, 50.0)  # far apart: no conflicts
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        assert schedule.length == 1
+        assert all(schedule.slot_of(s.vn_id) == 0 for s in sites)
+
+    def test_conflicting_pair_gets_two_slots(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(1.0, 0))]
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        assert schedule.length == 2
+        assert schedule.slot_of(0) != schedule.slot_of(1)
+
+    def test_dense_grid_valid(self):
+        sites = grid_sites(4, 4, 2.0)
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        verify_schedule(schedule, sites, r1=R1, r2=R2)
+
+    def test_schedule_length_grows_with_density(self):
+        sparse = build_schedule(grid_sites(3, 3, 10.0), r1=R1, r2=R2)
+        dense = build_schedule(grid_sites(3, 3, 1.0), r1=R1, r2=R2)
+        assert dense.length > sparse.length
+
+    def test_schedule_independent_of_count_at_fixed_density(self):
+        # Overhead depends only on density (paper Section 1.4): growing the
+        # deployment at the same spacing does not grow the schedule much.
+        small = build_schedule(grid_sites(3, 3, 6.0), r1=R1, r2=R2)
+        large = build_schedule(grid_sites(6, 6, 6.0), r1=R1, r2=R2)
+        assert large.length <= small.length + 1
+
+    def test_min_length_respected(self):
+        sites = grid_sites(1, 1, 1.0)
+        schedule = build_schedule(sites, r1=R1, r2=R2, min_length=5)
+        assert schedule.length == 5
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ScheduleError):
+            build_schedule([], r1=R1, r2=R2)
+
+    def test_duplicate_ids_rejected(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(0, Point(10, 0))]
+        with pytest.raises(ScheduleError):
+            build_schedule(sites, r1=R1, r2=R2)
+
+
+class TestScheduleSemantics:
+    def test_is_scheduled_cycles(self):
+        schedule = Schedule({0: 0, 1: 1}, length=2)
+        assert schedule.is_scheduled(0, 0)
+        assert not schedule.is_scheduled(0, 1)
+        assert schedule.is_scheduled(0, 2)
+        assert schedule.is_scheduled(1, 1)
+
+    def test_scheduled_in(self):
+        schedule = Schedule({0: 0, 1: 1, 2: 0}, length=2)
+        assert schedule.scheduled_in(0) == {0, 2}
+        assert schedule.scheduled_in(3) == {1}
+
+    def test_contains_and_ids(self):
+        schedule = Schedule({7: 0}, length=1)
+        assert 7 in schedule
+        assert 8 not in schedule
+        assert schedule.vn_ids == {7}
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule({0: 3}, length=2)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule({}, length=0)
+
+
+class TestVerifySchedule:
+    def test_missing_site_detected(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(10, 0))]
+        schedule = Schedule({0: 0}, length=1)
+        with pytest.raises(ScheduleError, match="incomplete"):
+            verify_schedule(schedule, sites, r1=R1, r2=R2)
+
+    def test_conflict_detected(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(1.0, 0))]
+        schedule = Schedule({0: 0, 1: 0}, length=1)
+        with pytest.raises(ScheduleError, match="conflict"):
+            verify_schedule(schedule, sites, r1=R1, r2=R2)
+
+    def test_valid_schedule_accepted(self):
+        sites = [VNSite(0, Point(0, 0)), VNSite(1, Point(1.0, 0))]
+        schedule = Schedule({0: 0, 1: 1}, length=2)
+        verify_schedule(schedule, sites, r1=R1, r2=R2)

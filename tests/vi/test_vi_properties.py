@@ -1,0 +1,93 @@
+"""Property-based tests for the emulation substrates."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point
+from repro.vi import (
+    Phase,
+    PhaseClock,
+    build_schedule,
+    verify_schedule,
+    VNSite,
+)
+
+R1, R2 = 1.0, 1.5
+
+coords = st.floats(min_value=-20.0, max_value=20.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def site_sets(draw, max_sites=12):
+    count = draw(st.integers(1, max_sites))
+    return [
+        VNSite(i, Point(draw(coords), draw(coords)))
+        for i in range(count)
+    ]
+
+
+class TestScheduleProperties:
+    @given(site_sets())
+    def test_built_schedules_always_verify(self, sites):
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        verify_schedule(schedule, sites, r1=R1, r2=R2)
+
+    @given(site_sets())
+    def test_every_site_scheduled_exactly_once_per_cycle(self, sites):
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        for site in sites:
+            scheduled_rounds = [
+                vr for vr in range(schedule.length)
+                if schedule.is_scheduled(site.vn_id, vr)
+            ]
+            assert len(scheduled_rounds) == 1
+
+    @given(site_sets())
+    def test_conflicting_pairs_never_share_a_round(self, sites):
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        threshold = R1 + 2 * R2
+        for vr in range(schedule.length):
+            chosen = [s for s in sites if schedule.is_scheduled(s.vn_id, vr)]
+            for i, a in enumerate(chosen):
+                for b in chosen[i + 1:]:
+                    assert not a.location.within(b.location, threshold)
+
+    @given(site_sets(), st.integers(0, 200))
+    def test_schedule_cycles(self, sites, vr):
+        schedule = build_schedule(sites, r1=R1, r2=R2)
+        for site in sites:
+            assert (schedule.is_scheduled(site.vn_id, vr)
+                    == schedule.is_scheduled(site.vn_id, vr + schedule.length))
+
+
+class TestPhaseClockProperties:
+    @given(st.integers(1, 12), st.integers(0, 5_000))
+    def test_round_positions_partition_time(self, s, r):
+        clock = PhaseClock(s)
+        pos = clock.position(r)
+        assert 0 <= pos.virtual_round == r // clock.rounds_per_virtual_round
+        assert clock.first_round_of(pos.virtual_round) <= r
+        assert r < clock.first_round_of(pos.virtual_round + 1)
+
+    @given(st.integers(1, 12))
+    def test_phase_histogram_per_virtual_round(self, s):
+        clock = PhaseClock(s)
+        counts: dict[Phase, int] = {}
+        for r in range(clock.rounds_per_virtual_round):
+            phase = clock.position(r).phase
+            counts[phase] = counts.get(phase, 0) + 1
+        assert counts[Phase.UNSCHED_BALLOT] == s + 2
+        for phase in Phase:
+            if phase is not Phase.UNSCHED_BALLOT:
+                assert counts[phase] == 1
+
+    @given(st.integers(1, 12), st.integers(0, 500))
+    def test_unsched_slots_strictly_increase_within_phase(self, s, vr):
+        clock = PhaseClock(s)
+        base = clock.first_round_of(vr)
+        slots = [
+            clock.position(r).slot
+            for r in range(base, base + clock.rounds_per_virtual_round)
+            if clock.position(r).phase is Phase.UNSCHED_BALLOT
+        ]
+        assert slots == list(range(s + 2))
