@@ -6,10 +6,14 @@ alive, resets revive it after total abandonment).  The table reports
 availability (fraction of live virtual rounds) and emulation gaps as
 density and speed vary: the paper's progress condition — "a sufficient
 number of correct nodes sufficiently close" — made quantitative.
+
+Each configuration is one declarative scenario; availability and gap
+counts come back as experiment metrics.
 """
 
+from repro import scenario
 from repro.geometry import Point
-from repro.vi import SilentProgram, VIWorld, VNSite
+from repro.vi import SilentProgram, VNSite
 from repro.workloads import roaming_devices
 
 ARENA = (-0.7, -0.7, 0.7, 0.7)
@@ -17,13 +21,17 @@ VIRTUAL_ROUNDS = 40
 
 
 def run_config(n_devices, speed, seed):
-    sites = [VNSite(0, Point(0.0, 0.0))]
-    world = VIWorld(sites, {0: SilentProgram()})
-    for model in roaming_devices(n_devices, arena=ARENA, speed=speed,
-                                 seed=seed):
-        world.add_device(model)
-    world.run_virtual_rounds(VIRTUAL_ROUNDS)
-    return world.availability(0), world.emulation_gaps(0)
+    result = (
+        scenario()
+        .sites([VNSite(0, Point(0.0, 0.0))])
+        .program(0, SilentProgram())
+        .replicas(roaming_devices(n_devices, arena=ARENA, speed=speed,
+                                  seed=seed))
+        .virtual_rounds(VIRTUAL_ROUNDS)
+        .metrics("availability", "emulation_gaps")
+        .run()
+    )
+    return result.metrics["availability"][0], result.metrics["emulation_gaps"][0]
 
 
 def sweep():

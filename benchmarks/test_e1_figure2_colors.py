@@ -3,9 +3,12 @@
 Reproduces the paper's Figure 2 by injecting collisions into exactly one
 phase combination per row (via scripted false-collision indications at a
 single victim node) and reading back the victim's colour and output.
+
+Each row is one declarative :class:`~repro.experiment.ExperimentSpec`:
+the scripted adversary is the only thing that varies across rows.
 """
 
-from repro.core import run_cha
+from repro import scenario
 from repro.detectors import EventuallyAccurateDetector
 from repro.net import ScriptedAdversary
 from repro.types import BOTTOM
@@ -32,11 +35,15 @@ def run_pattern(pattern):
         script.append((4, VICTIM))
     if not v2_ok:
         script.append((5, VICTIM))
-    run = run_cha(
-        n=3, instances=4,
-        adversary=ScriptedAdversary(false_script=script),
-        detector=EventuallyAccurateDetector(racc=100),
+    result = (
+        scenario()
+        .nodes(3).instances(4)
+        .cha()
+        .adversary(ScriptedAdversary(false_script=script))
+        .detector(EventuallyAccurateDetector(racc=100))
+        .run()
     )
+    run = result.cha_run
     color = run.colors_at(2)[VICTIM]
     output = dict(run.outputs[VICTIM])[2]
     return color, output, run

@@ -6,37 +6,64 @@ rounds each, *with* free TDMA and ids).  The paper's qualitative claim —
 quorum protocols pay Θ(n) channel time per decision — is the n-fold
 throughput gap; a lossy channel widens it because one lost ack kills a
 whole majority instance.
+
+All three protocol columns are grid sweeps over a single declarative
+spec each (``repro.sweep``), varying only ``world__n`` (and, for the
+lossy majority column, the seeded adversary).
 """
 
-from repro.analysis import decided_instances
-from repro.baselines.majority_rsm import run_majority_rsm
-from repro.core import run_cha
+from repro import ClusterWorld, ExperimentSpec, sweep
+from repro.experiment import CHA, MajorityRSM, MetricsSpec, WorkloadSpec
 from repro.detectors import EventuallyAccurateDetector
 from repro.net import RandomLossAdversary
 
 BUDGET = 600  # real communication rounds
+NS = (3, 6, 12, 24)
 
 
-def sweep():
+def _points_by_n(spec, *, overrides=None):
+    grid = {"world__n": NS}
+    if overrides:
+        grid.update(overrides)
+    return {point["world__n"]: point for point in sweep(spec, grid)}
+
+
+def run_sweeps():
+    chap_spec = ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=3),
+        workload=WorkloadSpec(instances=BUDGET // 3),
+        metrics=MetricsSpec(metrics=("decided_instances",)),
+    )
+    majority_spec = ExperimentSpec(
+        protocol=MajorityRSM(),
+        world=ClusterWorld(n=3),
+        workload=WorkloadSpec(rounds=BUDGET),
+        metrics=MetricsSpec(metrics=("decided_instances",)),
+    )
+    chap = _points_by_n(chap_spec)
+    clean = _points_by_n(majority_spec)
+    lossy = {
+        n: sweep(majority_spec.override(
+            world__n=n,
+            environment__adversary=RandomLossAdversary(p_drop=0.15, seed=n),
+            environment__detector=EventuallyAccurateDetector(racc=BUDGET),
+            world__rcf=BUDGET,
+        ), {})[0]
+        for n in NS
+    }
     rows = []
-    for n in (3, 6, 12, 24):
-        chap = run_cha(n=n, instances=BUDGET // 3)
-        chap_decided = decided_instances(chap, 0)
-        sim, procs = run_majority_rsm(n, rounds=BUDGET)
-        follower = procs[1]
-        rows.append((n, "clean", chap_decided, follower.decided_count))
-        sim, procs = run_majority_rsm(
-            n, rounds=BUDGET,
-            adversary=RandomLossAdversary(p_drop=0.15, seed=n),
-            detector=EventuallyAccurateDetector(racc=BUDGET),
-            rcf=BUDGET,
-        )
-        rows.append((n, "lossy 15%", chap_decided, procs[1].decided_count))
+    for n in NS:
+        chap_decided = chap[n].metrics["decided_instances"][0]
+        rows.append((n, "clean", chap_decided,
+                     clean[n].metrics["decided_instances"][1]))
+        rows.append((n, "lossy 15%", chap_decided,
+                     lossy[n].metrics["decided_instances"][1]))
     return rows
 
 
 def test_e8_baseline_throughput(benchmark, report):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
     report(
         ["n nodes", "channel", "CHAP decided", "majority RSM decided"],
         rows,

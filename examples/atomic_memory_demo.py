@@ -9,33 +9,34 @@ device is an unreliable radio node.
 Run:  python examples/atomic_memory_demo.py
 """
 
+from repro import scenario
 from repro.apps import ReaderClient, RegisterProgram, WriterClient
 from repro.geometry import Point
-from repro.vi import VIWorld
-from repro.workloads import single_region
 
 
 def main() -> None:
-    sites, replica_positions = single_region(n_replicas=4)
-    world = VIWorld(sites, {0: RegisterProgram()})
-    for pos in replica_positions:
-        world.add_device(pos)
-
-    alice = WriterClient({1: "alice-1", 5: "alice-2"}, base_seq=1)
-    bob = WriterClient({3: "bob-1", 7: "bob-2"}, base_seq=100)
-    reader = ReaderClient()
-
-    world.add_device(Point(0.4, 0.0), client=alice, initially_active=False)
-    world.add_device(Point(-0.4, 0.0), client=bob, initially_active=False)
-    world.add_device(Point(0.0, 0.4), client=reader, initially_active=False)
-
-    world.run_virtual_rounds(12)
+    result = (
+        scenario()
+        .single_region(n_replicas=4)
+        .program(0, RegisterProgram())
+        .client(Point(0.4, 0.0),
+                WriterClient({1: "alice-1", 5: "alice-2"}, base_seq=1),
+                name="alice")
+        .client(Point(-0.4, 0.0),
+                WriterClient({3: "bob-1", 7: "bob-2"}, base_seq=100),
+                name="bob")
+        .client(Point(0.0, 0.4), ReaderClient(), name="reader")
+        .virtual_rounds(12)
+        .invariants("replica_consistency")
+        .run()
+    )
 
     print("writes issued:")
-    for who, writer in (("alice", alice), ("bob", bob)):
-        for vr, seq, value in writer.issued:
+    for who in ("alice", "bob"):
+        for vr, seq, value in result.client(who).issued:
             print(f"  vr {vr:2d}  {who:5s}  seq={seq:3d}  value={value!r}")
 
+    reader = result.client("reader")
     print("\nreads observed (virtual round, seq, value):")
     for vr, seq, value in reader.reads:
         print(f"  vr {vr:2d}  seq={seq:3d}  value={value!r}")
@@ -43,7 +44,7 @@ def main() -> None:
     seqs = reader.observed_sequence()
     assert seqs == sorted(seqs), "atomicity violated!"
     print("\natomicity check: observed sequence is monotone ✓")
-    world.check_replica_consistency(0)
+    result.assert_ok()
 
 
 if __name__ == "__main__":

@@ -8,11 +8,13 @@ output behaviour.  Safety (agreement, validity) holds throughout; the
 moment the environment stabilises, every instance turns green
 (Theorems 10, 12, 13 of the paper).
 
+The hostile world is one declarative scenario; the spec checkers run as
+invariants of the experiment itself and come back as verdicts.
+
 Run:  python examples/cha_under_fire.py
 """
 
-from repro import run_cha, check_agreement, check_validity, Color
-from repro.analysis import color_divergence_histogram, convergence_instance
+from repro import scenario
 from repro.contention import LeaderElectionCM
 from repro.detectors import EventuallyAccurateDetector
 from repro.net import RandomLossAdversary
@@ -22,16 +24,22 @@ STABILIZE_AT = 60  # real round: instance 20
 
 
 def main() -> None:
-    run = run_cha(
-        n=6, instances=40,
-        adversary=RandomLossAdversary(p_drop=0.45, p_false=0.3, seed=2008),
-        detector=EventuallyAccurateDetector(racc=STABILIZE_AT),
-        cm=LeaderElectionCM(stable_round=STABILIZE_AT, chaos="random", seed=7),
-        rcf=STABILIZE_AT,
+    result = (
+        scenario()
+        .nodes(6).instances(40)
+        .cha()
+        .adversary(RandomLossAdversary(p_drop=0.45, p_false=0.3, seed=2008))
+        .detector(EventuallyAccurateDetector(racc=STABILIZE_AT))
+        .contention(LeaderElectionCM(stable_round=STABILIZE_AT,
+                                     chaos="random", seed=7))
+        .radio(rcf=STABILIZE_AT)
+        .metrics("color_divergence", "convergence_instance",
+                 "max_message_size")
+        .invariants("validity", "agreement")
+        .run()
     )
-
-    check_validity(run.outputs, run.proposals)
-    check_agreement(run.outputs)
+    result.assert_ok()
+    run = result.cha_run
     print("safety: validity ✓  agreement ✓ (checked over every output)")
 
     print("\ninstance | colours (6 nodes)            | node-0 output")
@@ -44,10 +52,11 @@ def main() -> None:
         print(f"  {k:6d} | {cell:28s} | {out_text}{marker}")
 
     print("\ncolour divergence histogram (Property 4 says support ⊆ {0,1}):",
-          color_divergence_histogram(run))
-    print("liveness convergence instance:", convergence_instance(run))
+          result.metrics["color_divergence"])
+    print("liveness convergence instance:",
+          result.metrics["convergence_instance"])
     print("max message size over the whole run:",
-          run.trace.max_message_size(), "bytes (constant, Theorem 14)")
+          result.metrics["max_message_size"], "bytes (constant, Theorem 14)")
 
 
 if __name__ == "__main__":

@@ -5,43 +5,46 @@ Demonstrates the core promise of the paper: unreliable, crash-prone
 devices cooperatively emulate a *reliable* virtual node.  Midway through
 the run we crash one replica; the virtual node does not even blink.
 
+The whole deployment is one declarative scenario: geometry, programs,
+clients, the crash schedule, the workload and the requested metrics are
+chained on a single builder, and ``.run()`` hands back a uniform result.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.apps import ReaderClient  # noqa: F401  (showcased in other demos)
+from repro import scenario
 from repro.geometry import Point
 from repro.net import CrashSchedule
-from repro.vi import CounterProgram, ScriptedClient, SilentClient, VIWorld, VNSite
-from repro.workloads import single_region
+from repro.vi import CounterProgram, ScriptedClient, SilentClient
 
 
 def main() -> None:
-    sites, replica_positions = single_region(n_replicas=3)
-    world = VIWorld(
-        sites,
-        {0: CounterProgram()},
+    result = (
+        scenario()
+        .single_region(n_replicas=3)
+        .program(0, CounterProgram())
         # One replica dies at real round 30 (virtual round 2).
-        crashes=CrashSchedule.of({0: 30}),
+        .crashes(CrashSchedule.of({0: 30}))
+        # A client keeps incrementing the shared counter...
+        .client(Point(0.4, 0.0),
+                ScriptedClient({vr: ("add", 1) for vr in range(1, 12, 2)}),
+                name="incrementer")
+        # ... and a listener watches the counter's broadcasts.
+        .client(Point(0.0, 0.4), SilentClient(), name="listener")
+        .virtual_rounds(12)
+        .metrics("availability")
+        .invariants("replica_consistency")
+        .run()
     )
-    for pos in replica_positions:
-        world.add_device(pos)
+    result.assert_ok()
+    world = result.world
 
-    # A client keeps incrementing the shared counter...
-    incrementer = ScriptedClient({vr: ("add", 1) for vr in range(1, 12, 2)})
-    world.add_device(Point(0.4, 0.0), client=incrementer, initially_active=False)
-    # ... and a listener watches the counter's broadcasts.
-    listener = SilentClient()
-    world.add_device(Point(0.0, 0.4), client=listener, initially_active=False)
-
-    world.run_virtual_rounds(12)
-
-    print("virtual node availability:", world.availability(0))
+    print("virtual node availability:", result.metrics["availability"][0])
     print("replica count after crash:", len(world.replicas_of(0)))
     print("agreed counter state     :", set(world.vn_states(0).values()))
-    world.check_replica_consistency(0)
 
     print("\ncounter broadcasts seen by the listener:")
-    for vr, obs in listener.heard:
+    for vr, obs in result.client("listener").heard:
         for item in obs.messages:
             if item[0] == "vn":
                 print(f"  virtual round {vr:2d}: {item[2]}")

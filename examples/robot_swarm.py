@@ -6,30 +6,35 @@ slot on a circle formation and the robots converge.  The planner's
 reliability comes from the emulation — individual devices may crash, the
 plan does not ([4, 27] of the paper).
 
+The deployment is one declarative scenario; the result keeps the live
+:class:`~repro.vi.world.VIWorld` handle, so the run continues in stages
+and the swarm can be inspected at each checkpoint.
+
 Run:  python examples/robot_swarm.py
 """
 
+from repro import scenario
 from repro.apps import CoordinatorProgram, RobotClient
 from repro.geometry import Point
-from repro.vi import VIWorld
-from repro.workloads import single_region
 
 
 def main() -> None:
-    sites, replica_positions = single_region(n_replicas=3)
-    world = VIWorld(sites, {0: CoordinatorProgram(radius=2.0, capacity=4)})
-    for pos in replica_positions:
-        world.add_device(pos)
-
     starts = [(4.0, 4.0), (-4.0, 3.0), (3.0, -4.0), (-3.0, -3.0)]
-    robots = [
-        RobotClient(f"robot-{i}", start=start, step_length=0.35,
-                    report_period=4, report_offset=i)
-        for i, start in enumerate(starts)
-    ]
-    for i, robot in enumerate(robots):
-        world.add_device(Point(0.35, 0.05 * i), client=robot,
-                         initially_active=False)
+    build = (
+        scenario()
+        .single_region(n_replicas=3)
+        .program(0, CoordinatorProgram(radius=2.0, capacity=4))
+    )
+    for i, start in enumerate(starts):
+        build.client(
+            Point(0.35, 0.05 * i),
+            RobotClient(f"robot-{i}", start=start, step_length=0.35,
+                        report_period=4, report_offset=i),
+            name=f"robot-{i}",
+        )
+    result = build.virtual_rounds(10).run()
+    world = result.world
+    robots = [result.client(f"robot-{i}") for i in range(len(starts))]
 
     for checkpoint in (10, 25, 50):
         world.run_virtual_rounds(checkpoint - world.virtual_rounds_run)

@@ -10,9 +10,9 @@ references [12, 16, 17, 40] of the paper.
 Run:  python examples/routing_demo.py
 """
 
+from repro import scenario
 from repro.apps import ReceiverClient, SenderClient, build_routing_programs
 from repro.geometry import Point
-from repro.vi import VIWorld
 from repro.workloads import vn_line
 
 
@@ -24,30 +24,30 @@ def main() -> None:
     for vn_id, program in sorted(programs.items()):
         print(f"  vn{vn_id}: {program.next_hop}")
 
-    world = VIWorld(sites, programs)
-    for pos in replica_positions:
-        world.add_device(pos)
-
-    sender = SenderClient(0, {1: (3, "hello-end"), 6: (2, "hello-middle")})
-    receiver_end = ReceiverClient()
-    receiver_mid = ReceiverClient()
-    world.add_device(Point(0.0, 0.4), client=sender, initially_active=False)
-    world.add_device(Point(1.5, 0.4), client=receiver_end, initially_active=False)
-    world.add_device(Point(1.0, -0.4), client=receiver_mid, initially_active=False)
-
-    world.run_virtual_rounds(60)
+    result = (
+        scenario()
+        .sites(sites).replicas(replica_positions)
+        .programs(programs)
+        .client(Point(0.0, 0.4),
+                SenderClient(0, {1: (3, "hello-end"), 6: (2, "hello-middle")}),
+                name="sender")
+        .client(Point(1.5, 0.4), ReceiverClient(), name="receiver-end")
+        .client(Point(1.0, -0.4), ReceiverClient(), name="receiver-mid")
+        .virtual_rounds(60)
+        .invariants("replica_consistency")
+        .run()
+    )
 
     print("\ndeliveries at the far end (vn3's region):")
-    for vr, vn, body in receiver_end.received:
+    for vr, vn, body in result.client("receiver-end").received:
         if vn == 3:
             print(f"  vr {vr:2d}: {body!r}")
     print("deliveries in the middle (vn2's region):")
-    for vr, vn, body in receiver_mid.received:
+    for vr, vn, body in result.client("receiver-mid").received:
         if vn == 2:
             print(f"  vr {vr:2d}: {body!r}")
 
-    for site in sites:
-        world.check_replica_consistency(site.vn_id)
+    result.assert_ok()
     print("\nall virtual-node replicas consistent ✓")
 
 

@@ -11,30 +11,29 @@ to node as the target moves — the paper's cited tracking services
 Run:  python examples/tracking_demo.py
 """
 
+from repro import scenario
 from repro.apps import TargetClient, TrackerProgram, estimate_position, last_seen_map
 from repro.geometry import Point
 from repro.net import WaypointMobility
-from repro.vi import VIWorld
-from repro.workloads import vn_line
 
 
 def main() -> None:
-    sites, replica_positions = vn_line(3, spacing=0.5, replicas_per_vn=2)
-    world = VIWorld(sites, {s.vn_id: TrackerProgram() for s in sites})
-    for pos in replica_positions:
-        world.add_device(pos)
-
-    target = TargetClient("intruder", period=1)
-    world.add_device(
-        WaypointMobility(Point(0.0, 0.45), [Point(1.6, 0.45)], speed=0.02),
-        client=target, initially_active=False,
+    builder = scenario().vn_line(3, spacing=0.5, replicas_per_vn=2)
+    for vn_id in range(3):
+        builder.program(vn_id, TrackerProgram())
+    result = (
+        builder
+        .client(WaypointMobility(Point(0.0, 0.45), [Point(1.6, 0.45)],
+                                 speed=0.02),
+                TargetClient("intruder", period=1), name="intruder")
+        .virtual_rounds(8)
+        .run()
     )
+    world = result.world
 
     checkpoints = [8, 16, 24, 32, 40]
-    done = 0
     for upto in checkpoints:
-        world.run_virtual_rounds(upto - done)
-        done = upto
+        world.run_virtual_rounds(upto - world.virtual_rounds_run)
         estimate = estimate_position(world, "intruder")
         seen = last_seen_map(world, "intruder")
         print(f"after vr {upto:2d}: last-seen per VN = {seen}  "

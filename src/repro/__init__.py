@@ -17,13 +17,36 @@ A complete Python reproduction of Chockler, Gilbert & Lynch (PODC 2008):
   majority-quorum RSM, the comparison points of Sections 1.5/3.4.
 * :mod:`repro.apps` — applications the paper motivates (atomic memory,
   tracking, routing, robot coordination) built on virtual nodes.
+* :mod:`repro.experiment` — the declarative experiment layer: one
+  :class:`ExperimentSpec` describes world + environment + protocol +
+  workload + metrics; :func:`run` executes any of them uniformly and
+  :func:`sweep` fans parameter grids out over worker processes.
 
 Quickstart::
 
-    from repro import run_cha, check_all
+    import repro
 
-    run = run_cha(n=5, instances=20)
-    check_all(run.outputs, run.proposals, liveness_by=1)
+    result = (repro.scenario()
+              .nodes(5).instances(20)
+              .cha()
+              .metrics("decided_instances", "max_message_size")
+              .invariants("all").liveness_by(1)
+              .run())
+    result.assert_ok()
+
+or, fully declaratively::
+
+    spec = repro.ExperimentSpec(
+        protocol=repro.CHA(),
+        world=repro.ClusterWorld(n=5),
+        workload=repro.WorkloadSpec(instances=20),
+        metrics=repro.MetricsSpec(metrics=("decided_instances",)),
+    )
+    result = repro.run(spec)
+    points = repro.sweep(spec, {"world__n": (3, 5, 9)}, workers=4)
+
+The classic entrypoints (:func:`run_cha`, :class:`repro.vi.VIWorld`, the
+baseline runners) remain as thin shims over the same machinery.
 """
 
 from .core import (
@@ -41,20 +64,59 @@ from .core import (
     find_liveness_point,
     run_cha,
 )
+from .experiment import (
+    CHA,
+    CheckpointCHA,
+    ClusterWorld,
+    DeployedWorld,
+    DeviceSpec,
+    EnvironmentSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    MajorityRSM,
+    MetricsSpec,
+    NaiveRSM,
+    ScenarioBuilder,
+    SweepPoint,
+    ThreePhaseCommit,
+    TwoPhaseCHA,
+    VIEmulation,
+    WorkloadSpec,
+    run,
+    scenario,
+    sweep,
+)
 from .types import BOTTOM, Color
-from . import net, detectors, contention, core
+from . import net, detectors, contention, core, experiment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BOTTOM",
     "Ballot",
+    "CHA",
     "CHAProcess",
     "ChaCore",
+    "CheckpointCHA",
     "CheckpointCHAProcess",
+    "ClusterWorld",
     "Color",
+    "DeployedWorld",
+    "DeviceSpec",
+    "EnvironmentSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
     "History",
+    "MajorityRSM",
+    "MetricsSpec",
+    "NaiveRSM",
     "ROUNDS_PER_INSTANCE",
+    "ScenarioBuilder",
+    "SweepPoint",
+    "ThreePhaseCommit",
+    "TwoPhaseCHA",
+    "VIEmulation",
+    "WorkloadSpec",
     "calculate_history",
     "check_agreement",
     "check_all",
@@ -63,8 +125,12 @@ __all__ = [
     "contention",
     "core",
     "detectors",
+    "experiment",
     "find_liveness_point",
     "net",
+    "run",
     "run_cha",
+    "scenario",
+    "sweep",
     "__version__",
 ]

@@ -125,22 +125,25 @@ def run_majority_rsm(n: int, rounds: int, *, adversary=None, detector=None,
     Returns ``(simulator, processes)``; node 0 is the leader.  Mirrors
     :func:`repro.core.runner.run_cha` so experiment E8 can drive both
     protocols through identical environments.
-    """
-    from ..core.runner import cluster_positions
-    from ..net import RadioSpec, Simulator
 
-    sim = Simulator(
-        spec=RadioSpec(r1=r1, r2=r2, rcf=rcf),
-        adversary=adversary,
-        detector=detector,
+    Compatibility shim over the declarative experiment API
+    (:class:`~repro.experiment.MajorityRSM` on a cluster world).
+    """
+    from ..core.runner import DEFAULT_R1
+    from ..experiment import (
+        ClusterWorld,
+        EnvironmentSpec,
+        ExperimentSpec,
+        MajorityRSM,
+        WorkloadSpec,
     )
-    processes: dict[NodeId, MajorityRSMProcess] = {}
-    for idx, position in enumerate(cluster_positions(n)):
-        proc = MajorityRSMProcess(
-            my_index=idx, n=n, is_leader=idx == 0,
-            propose=lambda k, idx=idx: f"m{idx}.{k:06d}",
-        )
-        node_id = sim.add_node(proc, position)
-        processes[node_id] = proc
-    sim.run(rounds)
-    return sim, processes
+    from ..experiment.runner import run as run_experiment
+
+    result = run_experiment(ExperimentSpec(
+        protocol=MajorityRSM(),
+        world=ClusterWorld(n=n, r1=r1, r2=r2, rcf=rcf,
+                           cluster_radius=DEFAULT_R1 / 4),
+        environment=EnvironmentSpec(adversary=adversary, detector=detector),
+        workload=WorkloadSpec(rounds=rounds),
+    ))
+    return result.simulator, result.processes

@@ -90,25 +90,25 @@ class TwoPhaseChaProcess(Process):
 
 def run_two_phase(n: int, instances: int, *, adversary=None, detector=None,
                   cm=None, crashes=None, rcf: int = 0):
-    """Two-phase ensemble runner mirroring :func:`repro.core.runner.run_cha`."""
-    from ..contention import LeaderElectionCM
-    from ..core.runner import ChaRun, cluster_positions, default_proposer
-    from ..detectors import EventuallyAccurateDetector
-    from ..net import RadioSpec, Simulator
+    """Two-phase ensemble runner mirroring :func:`repro.core.runner.run_cha`.
 
-    sim = Simulator(
-        spec=RadioSpec(r1=1.0, r2=1.5, rcf=rcf),
-        adversary=adversary,
-        detector=detector or EventuallyAccurateDetector(),
-        cms={"C": cm or LeaderElectionCM(stable_round=0)},
-        crashes=crashes,
+    Compatibility shim over the declarative experiment API
+    (:class:`~repro.experiment.TwoPhaseCHA` on a cluster world).
+    """
+    from ..experiment import (
+        ClusterWorld,
+        EnvironmentSpec,
+        ExperimentSpec,
+        TwoPhaseCHA,
+        WorkloadSpec,
     )
-    processes = {}
-    for position in cluster_positions(n):
-        node = len(processes)
-        proc = TwoPhaseChaProcess(propose=default_proposer(node))
-        assert sim.add_node(proc, position) == node
-        processes[node] = proc
-    trace = sim.run(instances * TWO_PHASE_ROUNDS)
-    return ChaRun(simulator=sim, processes=processes, trace=trace,
-                  instances=instances)
+    from ..experiment.runner import run as run_experiment
+
+    result = run_experiment(ExperimentSpec(
+        protocol=TwoPhaseCHA(),
+        world=ClusterWorld(n=n, rcf=rcf),
+        environment=EnvironmentSpec(adversary=adversary, detector=detector,
+                                    cm=cm, crashes=crashes),
+        workload=WorkloadSpec(instances=instances),
+    ))
+    return result.cha_run

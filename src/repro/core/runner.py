@@ -11,21 +11,20 @@ tables need.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
-from ..contention import ContentionManager, LeaderElectionCM
-from ..detectors import CollisionDetector, EventuallyAccurateDetector
+from ..contention import ContentionManager
+from ..detectors import CollisionDetector
 from ..geometry import Point
 from ..net import (
     Adversary,
     CrashSchedule,
-    RadioSpec,
     Simulator,
     Trace,
 )
-from ..types import Instance, NodeId, Value
-from .cha import CHAProcess, ROUNDS_PER_INSTANCE
+from ..types import Color, Instance, NodeId, Value
+from .cha import CHAProcess
 from .history import History
 from .spec import OutputLog
 
@@ -88,7 +87,7 @@ class ChaRun:
             if self.simulator.alive(node)
         ]
 
-    def colors_at(self, k: Instance) -> dict[NodeId, "object"]:
+    def colors_at(self, k: Instance) -> dict[NodeId, Color]:
         """Colour each *surviving* node assigned to instance ``k``."""
         return {
             node: proc.core.color_of(k)
@@ -115,27 +114,29 @@ def run_cha(n: int, instances: Instance, *,
     detector, immediately-stable contention manager); pass an adversary,
     a later-stabilising detector/manager, and a crash schedule to exercise
     the unstable regime.
+
+    This is a compatibility shim over the declarative experiment API —
+    equivalent to building an :class:`~repro.experiment.ExperimentSpec`
+    with a :class:`~repro.experiment.ClusterWorld` and a
+    :class:`~repro.experiment.CHA` protocol and calling
+    :func:`repro.experiment.run`; new code should do that directly.
     """
-    spec = RadioSpec(r1=r1, r2=r2, rcf=rcf)
-    cm = cm if cm is not None else LeaderElectionCM(stable_round=0)
-    detector = detector if detector is not None else EventuallyAccurateDetector()
-    proposer_factory = proposer_factory or default_proposer
-    sim = Simulator(
-        spec=spec,
-        adversary=adversary,
-        detector=detector,
-        cms={"C": cm},
-        crashes=crashes,
+    from ..experiment import (
+        CHA,
+        ClusterWorld,
+        EnvironmentSpec,
+        ExperimentSpec,
+        WorkloadSpec,
     )
-    make_process = process_factory or CHAProcess
-    processes: dict[NodeId, CHAProcess] = {}
-    for position in cluster_positions(n):
-        node_id_guess = len(processes)
-        propose = proposer_factory(node_id_guess)
-        proc = make_process(propose=propose, cm_name="C")
-        node_id = sim.add_node(proc, position)
-        assert node_id == node_id_guess
-        processes[node_id] = proc
-    trace = sim.run(instances * ROUNDS_PER_INSTANCE)
-    return ChaRun(simulator=sim, processes=processes, trace=trace,
-                  instances=instances)
+    from ..experiment.runner import run as run_experiment
+
+    result = run_experiment(ExperimentSpec(
+        protocol=CHA(proposer_factory=proposer_factory,
+                     process_factory=process_factory),
+        world=ClusterWorld(n=n, r1=r1, r2=r2, rcf=rcf,
+                           cluster_radius=DEFAULT_R1 / 4),
+        environment=EnvironmentSpec(adversary=adversary, detector=detector,
+                                    cm=cm, crashes=crashes),
+        workload=WorkloadSpec(instances=instances),
+    ))
+    return result.cha_run

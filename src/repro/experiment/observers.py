@@ -1,0 +1,43 @@
+"""Online (per-round) metric accumulators.
+
+These ride the :meth:`repro.net.Simulator.add_observer` hook: the
+simulator hands each completed :class:`~repro.net.trace.RoundRecord` to
+every observer as it is produced, so wire metrics cost O(1) extra memory
+and are available even when the run does not retain its trace
+(``ExperimentSpec(keep_trace=False)``, which sweeps use) — instead of
+re-scanning the whole trace after the fact.
+"""
+
+from __future__ import annotations
+
+from ..net.trace import RoundRecord
+from ..types import NodeId
+
+
+class WireStatsObserver:
+    """Accumulates the trace-level wire metrics online."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.total_broadcasts = 0
+        self.max_message_size = 0
+        self._size_sum = 0
+        self.collision_flags: dict[NodeId, int] = {}
+
+    def __call__(self, record: RoundRecord) -> None:
+        self.rounds += 1
+        self.total_broadcasts += len(record.broadcasts)
+        for message in record.broadcasts.values():
+            size = message.size
+            self._size_sum += size
+            if size > self.max_message_size:
+                self.max_message_size = size
+        for node, flag in record.collisions.items():
+            if flag:
+                self.collision_flags[node] = self.collision_flags.get(node, 0) + 1
+
+    @property
+    def mean_message_size(self) -> float:
+        if self.total_broadcasts == 0:
+            return 0.0
+        return self._size_sum / self.total_broadcasts

@@ -1,0 +1,87 @@
+"""The uniform result every experiment run produces.
+
+Whatever the protocol — a CHAP ensemble, a baseline, the off-channel 3PC
+comparator, or a whole virtual-infrastructure deployment — running a spec
+yields one :class:`ExperimentResult` carrying the requested metrics, the
+invariant verdicts, and protocol-appropriate handles (the
+:class:`~repro.core.runner.ChaRun`, the :class:`~repro.vi.world.VIWorld`,
+the live client programs, ...) for deeper inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..core.runner import ChaRun
+from ..core.spec import OutputLog
+from ..errors import ConfigurationError
+from ..net import Simulator, Trace
+from ..types import Instance, NodeId, Value
+from ..vi.client import ClientProgram
+from ..vi.world import VIWorld
+from .spec import ExperimentSpec
+
+#: Verdict value meaning an invariant held.
+OK = "ok"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    spec: ExperimentSpec
+    #: Requested metric name -> value (picklable primitives/containers).
+    metrics: dict[str, Any]
+    #: Invariant name -> ``"ok"`` or ``"violated: <message>"``.
+    invariants: dict[str, str]
+    #: Per-node output logs (agreement-protocol families; else None).
+    outputs: dict[NodeId, OutputLog] | None = None
+    #: Per-node proposals (CHA families; else None).
+    proposals: dict[NodeId, Mapping[Instance, Value]] | None = None
+    #: The execution trace (None when keep_trace=False or off-channel).
+    trace: Trace | None = None
+    simulator: Simulator | None = None
+    #: The classic run handle for CHA-family protocols.
+    cha_run: ChaRun | None = None
+    #: The deployment handle for VI emulations.
+    world: VIWorld | None = None
+    processes: dict[NodeId, Any] = field(default_factory=dict)
+    #: Live client programs of a deployment, keyed by node id.
+    clients: dict[NodeId, ClientProgram] = field(default_factory=dict)
+    #: Clients (and their node ids) by DeviceSpec.name.
+    named_clients: dict[str, ClientProgram] = field(default_factory=dict)
+    #: The 3PC comparator's decision / participants.
+    decision: Any = None
+    participants: list[Any] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def ok(self) -> bool:
+        """True when every checked invariant held."""
+        return all(v == OK for v in self.invariants.values())
+
+    def assert_ok(self) -> None:
+        """Raise ``AssertionError`` listing any violated invariants."""
+        bad = {k: v for k, v in self.invariants.items() if v != OK}
+        assert not bad, f"invariants violated: {bad}"
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def client(self, name: str) -> ClientProgram:
+        """The live client program of the device named ``name``."""
+        try:
+            return self.named_clients[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no client device named {name!r}; known: "
+                f"{sorted(self.named_clients)}"
+            ) from None
+
+    def summary(self) -> dict[str, Any]:
+        """The picklable core of the result (what sweep workers return)."""
+        return {"metrics": self.metrics, "invariants": self.invariants}

@@ -1,0 +1,455 @@
+"""Execute an :class:`~repro.experiment.spec.ExperimentSpec`.
+
+:func:`run` is the one entrypoint behind every protocol the library
+implements.  It builds the world, wires the environment, drives the
+execution, and extracts the requested metrics (collected online through
+the simulator's observer hook wherever possible) and invariant verdicts
+into a uniform :class:`~repro.experiment.result.ExperimentResult`.
+
+Metric and invariant names are resolved against per-family registries;
+asking for a metric a protocol cannot produce is a configuration error,
+not a silent ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..analysis.invariants import (
+    check_lemma5,
+    check_lemma6,
+    check_lemma9,
+    check_prev_pointer_discipline,
+    check_property4,
+)
+from ..baselines.majority_rsm import MajorityRSMProcess
+from ..baselines.naive_rsm import NaiveRSMProcess
+from ..baselines.three_phase_commit import (
+    Participant,
+    ThreePhaseCommit as ThreePhaseCommitTxn,
+    state_spread,
+)
+from ..baselines.two_phase_cha import TWO_PHASE_ROUNDS, TwoPhaseChaProcess
+from ..contention import LeaderElectionCM
+from ..core.cha import CHAProcess, ROUNDS_PER_INSTANCE
+from ..core.checkpoint import CheckpointCHAProcess
+from ..core.runner import ChaRun, cluster_positions, default_proposer
+from ..core.spec import check_agreement, check_liveness, check_validity
+from ..detectors import EventuallyAccurateDetector
+from ..errors import ConfigurationError, SimulationError, SpecViolation
+from ..net import RadioSpec, Simulator
+from ..types import BOTTOM, NodeId
+from ..vi.world import VIWorld
+from .observers import WireStatsObserver
+from .result import OK, ExperimentResult
+from .spec import (
+    CHA,
+    CheckpointCHA,
+    ClusterWorld,
+    DeployedWorld,
+    ExperimentSpec,
+    MajorityRSM,
+    NaiveRSM,
+    ThreePhaseCommit,
+    TwoPhaseCHA,
+    VIEmulation,
+)
+
+
+@dataclass
+class _RunContext:
+    """Everything metric/invariant extractors may consult."""
+
+    spec: ExperimentSpec
+    rounds_run: int = 0
+    wire: WireStatsObserver | None = None
+    sim: Simulator | None = None
+    cha_run: ChaRun | None = None
+    processes: dict[NodeId, Any] = field(default_factory=dict)
+    world: VIWorld | None = None
+    decision: Any = None
+    participants: list[Participant] = field(default_factory=list)
+    txn_log: tuple[str, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Metric registries
+# ----------------------------------------------------------------------
+
+def _wire(ctx: _RunContext) -> WireStatsObserver:
+    assert ctx.wire is not None
+    return ctx.wire
+
+
+_WIRE_METRICS: dict[str, Callable[[_RunContext], Any]] = {
+    "rounds": lambda ctx: _wire(ctx).rounds,
+    "total_broadcasts": lambda ctx: _wire(ctx).total_broadcasts,
+    "max_message_size": lambda ctx: _wire(ctx).max_message_size,
+    "mean_message_size": lambda ctx: _wire(ctx).mean_message_size,
+    "collision_flags": lambda ctx: dict(_wire(ctx).collision_flags),
+}
+
+
+def _decided_by_node(ctx: _RunContext) -> dict[NodeId, int]:
+    run = ctx.cha_run
+    assert run is not None
+    return {
+        node: sum(out is not BOTTOM for _, out in log)
+        for node, log in run.outputs.items()
+    }
+
+
+def _throughput_by_node(ctx: _RunContext) -> dict[NodeId, float]:
+    rounds = ctx.rounds_run
+    return {
+        node: (decided / rounds if rounds else 0.0)
+        for node, decided in _decided_by_node(ctx).items()
+    }
+
+
+def _bottom_rate_by_node(ctx: _RunContext) -> dict[NodeId, float]:
+    run = ctx.cha_run
+    assert run is not None
+    return {
+        node: (sum(out is BOTTOM for _, out in log) / len(log) if log else 0.0)
+        for node, log in run.outputs.items()
+    }
+
+
+def _color_divergence(ctx: _RunContext) -> dict[int, int]:
+    from ..analysis.metrics import color_divergence_histogram
+
+    assert ctx.cha_run is not None
+    return color_divergence_histogram(ctx.cha_run)
+
+
+def _convergence_instance(ctx: _RunContext) -> Any:
+    from ..analysis.metrics import convergence_instance
+
+    assert ctx.cha_run is not None
+    return convergence_instance(ctx.cha_run)
+
+
+def _resident_entries(ctx: _RunContext) -> dict[NodeId, int]:
+    return {
+        node: proc.core.resident_entries()
+        for node, proc in ctx.processes.items()
+    }
+
+
+_CHA_METRICS: dict[str, Callable[[_RunContext], Any]] = {
+    **_WIRE_METRICS,
+    "decided_instances": _decided_by_node,
+    "decision_throughput": _throughput_by_node,
+    "bottom_rate": _bottom_rate_by_node,
+    "color_divergence": _color_divergence,
+    "convergence_instance": _convergence_instance,
+    "resident_entries": _resident_entries,
+}
+
+_MAJORITY_METRICS: dict[str, Callable[[_RunContext], Any]] = {
+    **_WIRE_METRICS,
+    "decided_instances": lambda ctx: {
+        node: proc.decided_count for node, proc in ctx.processes.items()
+    },
+}
+
+_VI_METRICS: dict[str, Callable[[_RunContext], Any]] = {
+    **_WIRE_METRICS,
+    "availability": lambda ctx: {
+        site.vn_id: ctx.world.availability(site.vn_id)
+        for site in ctx.world.sites
+    },
+    "emulation_gaps": lambda ctx: {
+        site.vn_id: ctx.world.emulation_gaps(site.vn_id)
+        for site in ctx.world.sites
+    },
+    "schedule_length": lambda ctx: ctx.world.schedule.length,
+    "rounds_per_virtual_round": lambda ctx: (
+        ctx.rounds_run / ctx.world.virtual_rounds_run
+        if ctx.world.virtual_rounds_run else 0.0
+    ),
+}
+
+_3PC_METRICS: dict[str, Callable[[_RunContext], Any]] = {
+    "decision": lambda ctx: ctx.decision.value,
+    "state_spread": lambda ctx: state_spread(ctx.participants),
+    "log": lambda ctx: ctx.txn_log,
+}
+
+
+# ----------------------------------------------------------------------
+# Invariant registries
+# ----------------------------------------------------------------------
+
+def _inv_validity(ctx: _RunContext) -> None:
+    check_validity(ctx.cha_run.outputs, ctx.cha_run.proposals)
+
+
+def _inv_agreement(ctx: _RunContext) -> None:
+    check_agreement(ctx.cha_run.outputs)
+
+
+def _inv_liveness(ctx: _RunContext) -> None:
+    by = ctx.spec.metrics.liveness_by
+    if by is None:
+        raise ConfigurationError(
+            "the liveness invariant needs MetricsSpec.liveness_by"
+        )
+    run = ctx.cha_run
+    survivors = run.surviving_nodes()
+    check_liveness(
+        {node: run.outputs[node] for node in survivors},
+        by_instance=by, alive=survivors,
+    )
+
+
+def _inv_replica_consistency(ctx: _RunContext) -> None:
+    for site in ctx.world.sites:
+        try:
+            ctx.world.check_replica_consistency(site.vn_id)
+        except AssertionError as exc:
+            raise SpecViolation(str(exc)) from None
+
+
+_FULL_HISTORY_INVARIANTS: dict[str, Callable[[_RunContext], None]] = {
+    "validity": _inv_validity,
+    "agreement": _inv_agreement,
+    "liveness": _inv_liveness,
+    "property4": lambda ctx: check_property4(ctx.cha_run),
+    "lemma5": lambda ctx: check_lemma5(ctx.cha_run),
+    "lemma6": lambda ctx: check_lemma6(ctx.cha_run),
+    "lemma9": lambda ctx: check_lemma9(ctx.cha_run),
+    "prev_pointer": lambda ctx: check_prev_pointer_discipline(ctx.cha_run),
+}
+
+#: Checkpoint outputs are (checkpoint, suffix) pairs, not full histories,
+#: so only the glass-box colour/pointer checkers apply.
+_CHECKPOINT_INVARIANTS = {
+    name: _FULL_HISTORY_INVARIANTS[name]
+    for name in ("property4", "lemma5", "prev_pointer")
+}
+
+_VI_INVARIANTS: dict[str, Callable[[_RunContext], None]] = {
+    "replica_consistency": _inv_replica_consistency,
+}
+
+
+def _registries_for(protocol) -> tuple[dict, dict]:
+    if isinstance(protocol, (CHA, NaiveRSM, TwoPhaseCHA)):
+        return _CHA_METRICS, _FULL_HISTORY_INVARIANTS
+    if isinstance(protocol, CheckpointCHA):
+        return _CHA_METRICS, _CHECKPOINT_INVARIANTS
+    if isinstance(protocol, MajorityRSM):
+        return _MAJORITY_METRICS, {}
+    if isinstance(protocol, VIEmulation):
+        return _VI_METRICS, _VI_INVARIANTS
+    if isinstance(protocol, ThreePhaseCommit):
+        return _3PC_METRICS, {}
+    raise ConfigurationError(f"unknown protocol spec {protocol!r}")
+
+
+def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str]]:
+    metric_registry, invariant_registry = _registries_for(ctx.spec.protocol)
+    metrics: dict[str, Any] = {}
+    for name in ctx.spec.metrics.metrics:
+        if name not in metric_registry:
+            raise ConfigurationError(
+                f"metric {name!r} is not available for "
+                f"{type(ctx.spec.protocol).__name__}; known: "
+                f"{sorted(metric_registry)}"
+            )
+        metrics[name] = metric_registry[name](ctx)
+
+    wanted = list(ctx.spec.metrics.invariants)
+    if "all" in wanted:
+        expanded = [n for n in sorted(invariant_registry)
+                    if n != "liveness" or ctx.spec.metrics.liveness_by is not None]
+        wanted = [n for n in wanted if n != "all"] + [
+            n for n in expanded if n not in wanted
+        ]
+    verdicts: dict[str, str] = {}
+    for name in wanted:
+        if name not in invariant_registry:
+            raise ConfigurationError(
+                f"invariant {name!r} is not available for "
+                f"{type(ctx.spec.protocol).__name__}; known: "
+                f"{sorted(invariant_registry)}"
+            )
+        try:
+            invariant_registry[name](ctx)
+        except SpecViolation as exc:
+            verdicts[name] = f"violated: {exc}"
+        else:
+            verdicts[name] = OK
+    return metrics, verdicts
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def run(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one declarative experiment and return its uniform result.
+
+    The spec's environment components (adversary, detector, contention
+    manager, clients, mobility models) are used *directly*, exactly as
+    the classic per-protocol runners did — handles the caller kept stay
+    live for post-run inspection.  A stateful spec therefore describes
+    one run; :func:`repro.experiment.sweep.sweep` copies the spec per
+    grid point, so sweeps are repeatable by construction.
+    """
+    spec.validate()
+    protocol = spec.protocol
+    if isinstance(protocol, ThreePhaseCommit):
+        return _run_three_phase_commit(spec)
+    if isinstance(protocol, VIEmulation):
+        return _run_emulation(spec)
+    return _run_cluster(spec)
+
+
+def _run_cluster(spec: ExperimentSpec) -> ExperimentResult:
+    world: ClusterWorld = spec.world
+    env = spec.environment
+    protocol = spec.protocol
+    sim = Simulator(
+        spec=RadioSpec(r1=world.r1, r2=world.r2, rcf=world.rcf),
+        adversary=env.adversary,
+        detector=env.detector if env.detector is not None
+        else EventuallyAccurateDetector(),
+        cms={"C": env.cm if env.cm is not None
+             else LeaderElectionCM(stable_round=0)},
+        crashes=env.crashes,
+        record_trace=spec.keep_trace,
+    )
+    wire = WireStatsObserver()
+    sim.add_observer(wire)
+
+    radius = (world.cluster_radius if world.cluster_radius is not None
+              else world.r1 / 4.0)
+    positions = cluster_positions(world.n, radius=radius)
+    proposer_factory = getattr(protocol, "proposer_factory", None) or default_proposer
+
+    processes: dict[NodeId, Any] = {}
+    for node_id, position in enumerate(positions):
+        if isinstance(protocol, CHA):
+            make = protocol.process_factory or CHAProcess
+            proc = make(propose=proposer_factory(node_id), cm_name="C")
+            rpi = ROUNDS_PER_INSTANCE
+        elif isinstance(protocol, CheckpointCHA):
+            proc = CheckpointCHAProcess(
+                propose=proposer_factory(node_id),
+                reducer=protocol.reducer,
+                initial_state=protocol.initial_state,
+                cm_name="C",
+            )
+            rpi = ROUNDS_PER_INSTANCE
+        elif isinstance(protocol, NaiveRSM):
+            proc = NaiveRSMProcess(propose=proposer_factory(node_id), cm_name="C")
+            rpi = ROUNDS_PER_INSTANCE
+        elif isinstance(protocol, TwoPhaseCHA):
+            proc = TwoPhaseChaProcess(propose=proposer_factory(node_id))
+            rpi = TWO_PHASE_ROUNDS
+        elif isinstance(protocol, MajorityRSM):
+            proc = MajorityRSMProcess(
+                my_index=node_id, n=world.n, is_leader=node_id == 0,
+                propose=lambda k, idx=node_id: f"m{idx}.{k:06d}",
+            )
+            rpi = world.n + 2
+        else:  # pragma: no cover - validate() rejects this earlier
+            raise ConfigurationError(f"unsupported cluster protocol {protocol!r}")
+        assigned = sim.add_node(proc, position)
+        if assigned != node_id:
+            raise SimulationError(
+                f"simulator assigned node id {assigned}, expected {node_id}"
+            )
+        processes[assigned] = proc
+
+    rounds = (spec.workload.rounds if spec.workload.rounds is not None
+              else spec.workload.instances * rpi)
+    trace = sim.run(rounds)
+
+    ctx = _RunContext(spec=spec, rounds_run=rounds, wire=wire, sim=sim,
+                      processes=processes)
+    cha_run = None
+    outputs = proposals = None
+    if not isinstance(protocol, MajorityRSM):
+        instances = (spec.workload.instances
+                     if spec.workload.instances is not None
+                     else rounds // rpi)
+        cha_run = ChaRun(simulator=sim, processes=processes, trace=trace,
+                         instances=instances)
+        ctx.cha_run = cha_run
+        outputs, proposals = cha_run.outputs, cha_run.proposals
+    metrics, verdicts = _extract(ctx)
+    return ExperimentResult(
+        spec=spec, metrics=metrics, invariants=verdicts,
+        outputs=outputs, proposals=proposals,
+        trace=trace if spec.keep_trace else None,
+        simulator=sim, cha_run=cha_run, processes=processes,
+    )
+
+
+def _run_emulation(spec: ExperimentSpec) -> ExperimentResult:
+    world_spec: DeployedWorld = spec.world
+    protocol: VIEmulation = spec.protocol
+    env = spec.environment
+    world = VIWorld(
+        list(world_spec.sites), dict(protocol.programs),
+        r1=world_spec.r1, r2=world_spec.r2, rcf=world_spec.rcf,
+        adversary=env.adversary, detector=env.detector, crashes=env.crashes,
+        cm_stable_round=world_spec.cm_stable_round,
+        min_schedule_length=world_spec.min_schedule_length,
+        schedule=world_spec.schedule,
+    )
+    world.sim.record_trace = spec.keep_trace
+    wire = WireStatsObserver()
+    world.sim.add_observer(wire)
+
+    clients: dict[NodeId, Any] = {}
+    named: dict[str, Any] = {}
+    for device in world_spec.devices:
+        node_id = world.add_device(
+            device.mobility, client=device.client,
+            start_round=device.start_round,
+            initially_active=device.initially_active,
+        )
+        if device.client is not None:
+            clients[node_id] = device.client
+            if device.name is not None:
+                named[device.name] = device.client
+
+    world.run_virtual_rounds(spec.workload.virtual_rounds)
+
+    ctx = _RunContext(spec=spec, rounds_run=world.sim.current_round,
+                      wire=wire, sim=world.sim, world=world,
+                      processes=dict(world.devices))
+    metrics, verdicts = _extract(ctx)
+    return ExperimentResult(
+        spec=spec, metrics=metrics, invariants=verdicts,
+        trace=world.sim.trace if spec.keep_trace else None,
+        simulator=world.sim, world=world, processes=dict(world.devices),
+        clients=clients, named_clients=named,
+    )
+
+
+def _run_three_phase_commit(spec: ExperimentSpec) -> ExperimentResult:
+    protocol: ThreePhaseCommit = spec.protocol
+    participants = [
+        Participant(pid=i, vote_yes=vote)
+        for i, vote in enumerate(protocol.votes)
+    ]
+    txn = ThreePhaseCommitTxn(
+        participants,
+        lossy=protocol.lossy,
+        crash_coordinator_after=protocol.crash_coordinator_after,
+    )
+    decision = txn.run()
+    ctx = _RunContext(spec=spec, decision=decision, participants=participants,
+                      txn_log=tuple(txn.log))
+    metrics, verdicts = _extract(ctx)
+    return ExperimentResult(
+        spec=spec, metrics=metrics, invariants=verdicts,
+        decision=decision, participants=participants,
+    )

@@ -20,7 +20,7 @@ from .mobility import (
     WaypointMobility,
 )
 from .node import Crash, CrashPoint, CrashSchedule, Process
-from .simulator import Simulator
+from .simulator import RoundObserver, Simulator
 from .trace import RoundRecord, Trace
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "RandomLossAdversary",
     "RandomWaypointMobility",
     "Reception",
+    "RoundObserver",
     "RoundRecord",
     "ScriptedAdversary",
     "Simulator",

@@ -28,6 +28,7 @@ by seeded components, so a run is a pure function of its configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from ..detectors import CollisionDetector, EventuallyAccurateDetector
 from ..contention import ContentionManager
@@ -41,6 +42,9 @@ from .messages import Message
 from .mobility import MobilityModel, StaticMobility
 from .node import CrashSchedule, Process
 from .trace import RoundRecord, Trace
+
+#: Per-round hook: called with each completed :class:`RoundRecord`.
+RoundObserver = Callable[[RoundRecord], None]
 
 
 @dataclass
@@ -58,7 +62,9 @@ class Simulator:
                  detector: CollisionDetector | None = None,
                  cms: dict[str, ContentionManager] | None = None,
                  crashes: CrashSchedule | None = None,
-                 location_update_period: int = 1) -> None:
+                 location_update_period: int = 1,
+                 observers: Iterable[RoundObserver] = (),
+                 record_trace: bool = True) -> None:
         self.spec = spec
         self.adversary = adversary if adversary is not None else NoAdversary()
         self.channel = Channel(spec, self.adversary)
@@ -67,6 +73,8 @@ class Simulator:
         self.crashes = crashes if crashes is not None else CrashSchedule()
         self.locations = LocationService(update_period=location_update_period)
         self.trace = Trace()
+        self.record_trace = record_trace
+        self._observers: list[RoundObserver] = list(observers)
         self._nodes: dict[NodeId, _NodeEntry] = {}
         self._round: Round = 0
 
@@ -95,6 +103,16 @@ class Simulator:
         if name in self.cms:
             raise ConfigurationError(f"contention manager {name!r} already registered")
         self.cms[name] = cm
+
+    def add_observer(self, observer: RoundObserver) -> None:
+        """Register a per-round callback.
+
+        Observers see every :class:`RoundRecord` as it is produced, so
+        metrics can be accumulated online instead of re-scanning the whole
+        :class:`Trace` afterwards; with ``record_trace=False`` they are the
+        *only* consumers and long runs need not retain the trace at all.
+        """
+        self._observers.append(observer)
 
     @property
     def current_round(self) -> Round:
@@ -198,7 +216,10 @@ class Simulator:
             advised_active=frozenset(advised),
             crashed=crashed_now,
         )
-        self.trace.append(record)
+        if self.record_trace:
+            self.trace.append(record)
+        for observer in self._observers:
+            observer(record)
         self._round += 1
         return record
 

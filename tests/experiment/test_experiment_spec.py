@@ -1,0 +1,179 @@
+"""Spec construction, validation, overrides, and the fluent builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    CHA,
+    ClusterWorld,
+    DeployedWorld,
+    EnvironmentSpec,
+    ExperimentSpec,
+    MajorityRSM,
+    MetricsSpec,
+    ThreePhaseCommit,
+    VIEmulation,
+    WorkloadSpec,
+    scenario,
+)
+from repro.geometry import Point
+from repro.net import RandomLossAdversary
+from repro.vi import SilentProgram, VNSite
+
+
+def cha_spec(n=3, instances=5, **kwargs):
+    return ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=n),
+        workload=WorkloadSpec(instances=instances),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_valid_cluster_spec(self):
+        cha_spec().validate()
+
+    def test_cluster_protocol_needs_cluster_world(self):
+        spec = ExperimentSpec(protocol=CHA(), world=None,
+                              workload=WorkloadSpec(instances=5))
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_cluster_protocol_needs_workload(self):
+        spec = ExperimentSpec(protocol=CHA(), world=ClusterWorld(n=3))
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_instances_and_rounds_mutually_exclusive(self):
+        spec = ExperimentSpec(protocol=CHA(), world=ClusterWorld(n=3),
+                              workload=WorkloadSpec(instances=5, rounds=60))
+        with pytest.raises(ConfigurationError, match="mutually"):
+            spec.validate()
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cha_spec(n=0).validate()
+
+    def test_three_phase_commit_is_off_channel(self):
+        ExperimentSpec(protocol=ThreePhaseCommit(votes=(True,))).validate()
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(protocol=ThreePhaseCommit(votes=(True,)),
+                           world=ClusterWorld(n=3)).validate()
+
+    def test_emulation_needs_deployed_world(self):
+        spec = ExperimentSpec(protocol=VIEmulation(programs={0: SilentProgram()}),
+                              world=ClusterWorld(n=3),
+                              workload=WorkloadSpec(virtual_rounds=2))
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_emulation_programs_must_match_sites(self):
+        world = DeployedWorld(sites=(VNSite(0, Point(0, 0)),))
+        spec = ExperimentSpec(
+            protocol=VIEmulation(programs={1: SilentProgram()}),
+            world=world, workload=WorkloadSpec(virtual_rounds=2),
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_emulation_needs_virtual_rounds(self):
+        world = DeployedWorld(sites=(VNSite(0, Point(0, 0)),))
+        spec = ExperimentSpec(
+            protocol=VIEmulation(programs={0: SilentProgram()}), world=world,
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+
+class TestOverride:
+    def test_override_top_level(self):
+        spec = cha_spec().override(keep_trace=False)
+        assert spec.keep_trace is False
+
+    def test_override_nested(self):
+        spec = cha_spec().override(world__n=9, workload__instances=2)
+        assert spec.world.n == 9
+        assert spec.workload.instances == 2
+
+    def test_override_leaves_original_untouched(self):
+        base = cha_spec()
+        base.override(world__n=9)
+        assert base.world.n == 3
+
+    def test_override_environment_object(self):
+        adv = RandomLossAdversary(p_drop=0.5, seed=1)
+        spec = cha_spec().override(environment__adversary=adv)
+        assert spec.environment.adversary is adv
+
+    def test_override_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cha_spec().override(world__bogus=1)
+
+
+class TestBuilder:
+    def test_cluster_chain(self):
+        spec = (scenario().nodes(4).instances(7).cha()
+                .radio(rcf=10)
+                .metrics("decided_instances").invariants("agreement")
+                .build())
+        assert isinstance(spec.protocol, CHA)
+        assert spec.world == ClusterWorld(n=4, rcf=10)
+        assert spec.workload.instances == 7
+        assert spec.metrics == MetricsSpec(metrics=("decided_instances",),
+                                           invariants=("agreement",))
+
+    def test_default_protocol_is_cha(self):
+        spec = scenario().nodes(2).instances(1).build()
+        assert isinstance(spec.protocol, CHA)
+
+    def test_sites_imply_emulation(self):
+        spec = (scenario().single_region(n_replicas=2)
+                .program(0, SilentProgram())
+                .virtual_rounds(3).build())
+        assert isinstance(spec.protocol, VIEmulation)
+        assert isinstance(spec.world, DeployedWorld)
+        assert len(spec.world.devices) == 2
+
+    def test_client_devices_join_by_default(self):
+        from repro.vi import SilentClient
+
+        spec = (scenario().single_region(n_replicas=1)
+                .program(0, SilentProgram())
+                .client(Point(0.3, 0.0), SilentClient(), name="watcher")
+                .virtual_rounds(3).build())
+        device = spec.world.devices[-1]
+        assert device.client is not None
+        assert device.initially_active is False
+        assert device.name == "watcher"
+
+    def test_duplicate_device_names_rejected(self):
+        from repro.vi import SilentClient
+
+        builder = (scenario().single_region(n_replicas=1)
+                   .program(0, SilentProgram())
+                   .client(Point(0.3, 0.0), SilentClient(), name="x")
+                   .client(Point(0.0, 0.3), SilentClient(), name="x")
+                   .virtual_rounds(3))
+        with pytest.raises(ConfigurationError):
+            builder.build()
+
+    def test_cluster_protocol_without_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario().instances(5).majority_rsm().build()
+
+    def test_liveness_by_arms_liveness_invariant(self):
+        spec = scenario().nodes(2).instances(4).cha().liveness_by(1).build()
+        assert spec.metrics.liveness_by == 1
+        assert "liveness" in spec.metrics.invariants
+
+    def test_majority_spec_roundtrip(self):
+        spec = scenario().nodes(5).rounds(70).majority_rsm().build()
+        assert isinstance(spec.protocol, MajorityRSM)
+        assert spec.workload.rounds == 70
+
+    def test_environment_accumulates(self):
+        adv = RandomLossAdversary(p_drop=0.1, seed=3)
+        spec = (scenario().nodes(2).instances(2).cha()
+                .adversary(adv).build())
+        assert spec.environment == EnvironmentSpec(adversary=adv)

@@ -1,0 +1,99 @@
+"""Grid expansion and the serial/parallel sweep equivalence guarantee."""
+
+import pickle
+
+import pytest
+
+from repro import scenario, sweep
+from repro.detectors import EventuallyAccurateDetector
+from repro.errors import ConfigurationError
+from repro.experiment import expand_grid
+from repro.net import RandomLossAdversary
+
+
+def seeded_spec():
+    return (scenario().nodes(3).instances(8).cha()
+            .adversary(RandomLossAdversary(p_drop=0.3, p_false=0.2, seed=42))
+            .detector(EventuallyAccurateDetector(racc=12))
+            .radio(rcf=12)
+            .metrics("decided_instances", "max_message_size",
+                     "total_broadcasts", "convergence_instance")
+            .invariants("agreement", "validity")
+            .build())
+
+
+class TestExpandGrid:
+    def test_empty_grid_is_one_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_row_major_order(self):
+        grid = {"a": (1, 2), "b": (10, 20)}
+        assert expand_grid(grid) == [
+            {"a": 1, "b": 10}, {"a": 1, "b": 20},
+            {"a": 2, "b": 10}, {"a": 2, "b": 20},
+        ]
+
+    def test_string_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid({"a": "abc"})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid({"a": ()})
+
+
+class TestSweep:
+    GRID = {"world__n": (2, 3), "workload__instances": (4, 8)}
+
+    def test_point_count_and_override_recording(self):
+        points = sweep(seeded_spec(), self.GRID)
+        assert len(points) == 4
+        assert points[0].overrides == (("world__n", 2),
+                                       ("workload__instances", 4))
+        assert points[-1]["world__n"] == 3
+        assert points[-1]["workload__instances"] == 8
+
+    def test_parallel_metrics_byte_identical_to_serial(self):
+        serial = sweep(seeded_spec(), self.GRID)
+        parallel = sweep(seeded_spec(), self.GRID, workers=2)
+        assert [pickle.dumps(p) for p in serial] \
+            == [pickle.dumps(p) for p in parallel]
+
+    def test_sweep_does_not_consume_the_base_spec(self):
+        spec = seeded_spec()
+        first = sweep(spec, self.GRID)
+        second = sweep(spec, self.GRID)
+        assert [pickle.dumps(p) for p in first] \
+            == [pickle.dumps(p) for p in second]
+
+    def test_metrics_vary_with_the_grid(self):
+        points = sweep(seeded_spec(), self.GRID)
+        by_overrides = {p.overrides: p.metrics for p in points}
+        small = by_overrides[(("world__n", 2), ("workload__instances", 4))]
+        large = by_overrides[(("world__n", 3), ("workload__instances", 8))]
+        assert set(small["decided_instances"]) == {0, 1}
+        assert set(large["decided_instances"]) == {0, 1, 2}
+
+    def test_invariants_ride_along(self):
+        points = sweep(seeded_spec(), {"world__n": (2,)})
+        assert points[0].invariants == {"agreement": "ok", "validity": "ok"}
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            sweep(seeded_spec(), self.GRID, workers=0)
+
+    def test_missing_override_key_raises(self):
+        points = sweep(seeded_spec(), {"world__n": (2,)})
+        with pytest.raises(KeyError):
+            points[0]["workload__instances"]
+
+    def test_emulation_specs_sweep_too(self):
+        from repro.vi import SilentProgram
+
+        spec = (scenario().single_region(n_replicas=2)
+                .program(0, SilentProgram())
+                .virtual_rounds(2)
+                .metrics("availability")
+                .build())
+        points = sweep(spec, {"workload__virtual_rounds": (2, 4)}, workers=2)
+        assert [p.metrics["availability"] for p in points] == [{0: 1.0}, {0: 1.0}]
