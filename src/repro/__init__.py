@@ -88,6 +88,9 @@ from .experiment import (
 )
 from .types import BOTTOM, Color
 from . import net, detectors, contention, core, experiment
+# Imported last: the fault layer's explorer sits on top of experiment.
+from . import faults
+from .faults import FaultPlan
 
 __version__ = "1.1.0"
 
@@ -106,6 +109,7 @@ __all__ = [
     "EnvironmentSpec",
     "ExperimentResult",
     "ExperimentSpec",
+    "FaultPlan",
     "History",
     "MajorityRSM",
     "MetricsSpec",
@@ -126,6 +130,7 @@ __all__ = [
     "core",
     "detectors",
     "experiment",
+    "faults",
     "find_liveness_point",
     "net",
     "run",

@@ -1,12 +1,15 @@
 """Metrics, invariant checkers and table rendering for experiments."""
 
 from .invariants import (
+    GLASS_BOX_CHECKERS,
     check_all_invariants,
     check_lemma5,
     check_lemma6,
     check_lemma9,
     check_prev_pointer_discipline,
     check_property4,
+    collect_violations,
+    first_violation,
 )
 from .metrics import (
     SizeStats,
@@ -22,6 +25,7 @@ from .metrics import (
 from .reporting import format_cell, print_table, render_table
 
 __all__ = [
+    "GLASS_BOX_CHECKERS",
     "SizeStats",
     "bottom_rate",
     "check_all_invariants",
@@ -30,9 +34,11 @@ __all__ = [
     "check_lemma9",
     "check_prev_pointer_discipline",
     "check_property4",
+    "collect_violations",
     "color_divergence_histogram",
     "convergence_instance",
     "decided_instances",
+    "first_violation",
     "decision_throughput",
     "format_cell",
     "green_fraction_by_window",

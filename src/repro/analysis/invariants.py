@@ -125,3 +125,41 @@ def check_all_invariants(run: ChaRun) -> None:
     check_lemma6(run)
     check_lemma9(run)
     check_prev_pointer_discipline(run)
+
+
+#: Name -> checker: the single source of truth for the glass-box lemma
+#: checks.  The experiment runner builds its invariant registry from
+#: this mapping, and :func:`collect_violations` enumerates it.
+GLASS_BOX_CHECKERS = {
+    "property4": check_property4,
+    "lemma5": check_lemma5,
+    "lemma6": check_lemma6,
+    "lemma9": check_lemma9,
+    "prev_pointer": check_prev_pointer_discipline,
+}
+
+
+def collect_violations(run: ChaRun) -> dict[str, SpecViolation]:
+    """Run every glass-box checker, returning *all* failures (not just
+    the first) keyed by checker name.
+
+    Unlike :func:`check_all_invariants` this never raises — handy when
+    debugging a :class:`~repro.core.runner.ChaRun` by hand, where the
+    complete violation set with each
+    :attr:`~repro.errors.SpecViolation.context` intact (violating
+    instance, nodes, colours) beats dying on the first failure.
+    """
+    violations: dict[str, SpecViolation] = {}
+    for name, checker in GLASS_BOX_CHECKERS.items():
+        try:
+            checker(run)
+        except SpecViolation as exc:
+            violations[name] = exc
+    return violations
+
+
+def first_violation(run: ChaRun) -> SpecViolation | None:
+    """The first glass-box violation in checker order, or ``None``."""
+    for exc in collect_violations(run).values():
+        return exc
+    return None

@@ -85,6 +85,7 @@ class ScenarioBuilder:
         self._metrics: tuple[str, ...] = ()
         self._invariants: tuple[str, ...] = ()
         self._liveness_by: Instance | None = None
+        self._faults = None
         self._keep_trace = True
 
     # ------------------------------------------------------------------
@@ -209,6 +210,21 @@ class ScenarioBuilder:
     def crashes(self, crashes: CrashSchedule) -> "ScenarioBuilder":
         self._environment = dataclasses.replace(self._environment,
                                                 crashes=crashes)
+        return self
+
+    def faults(self, plan, *, seed: int | None = None) -> "ScenarioBuilder":
+        """Attach a declarative :class:`~repro.faults.FaultPlan`.
+
+        The runner compiles the plan into the environment on entry
+        (adversary, crashes, detector accuracy, world ``rcf``); explicit
+        :meth:`adversary`/:meth:`detector`/:meth:`crashes` calls compose
+        with it as documented on
+        :func:`repro.faults.compile.apply_faults`.  ``seed`` reseeds the
+        plan in place.
+        """
+        if seed is not None:
+            plan = plan.with_seed(seed)
+        self._faults = plan
         return self
 
     # ------------------------------------------------------------------
@@ -338,6 +354,7 @@ class ScenarioBuilder:
             metrics=MetricsSpec(metrics=self._metrics,
                                 invariants=self._invariants,
                                 liveness_by=self._liveness_by),
+            faults=self._faults,
             keep_trace=self._keep_trace,
         )
         spec.validate()

@@ -35,6 +35,11 @@ class ExperimentResult:
     metrics: dict[str, Any]
     #: Invariant name -> ``"ok"`` or ``"violated: <message>"``.
     invariants: dict[str, str]
+    #: For each violated invariant, the checker's reproduction context
+    #: (:attr:`~repro.errors.SpecViolation.context` — violating
+    #: instance, nodes, colours).  The fault shrinker mines this for
+    #: horizon hints.
+    violation_context: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: Per-node output logs (agreement-protocol families; else None).
     outputs: dict[NodeId, OutputLog] | None = None
     #: Per-node proposals (CHA families; else None).

@@ -16,13 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..analysis.invariants import (
-    check_lemma5,
-    check_lemma6,
-    check_lemma9,
-    check_prev_pointer_discipline,
-    check_property4,
-)
+from ..analysis.invariants import GLASS_BOX_CHECKERS
 from ..baselines.majority_rsm import MajorityRSMProcess
 from ..baselines.naive_rsm import NaiveRSMProcess
 from ..baselines.three_phase_commit import (
@@ -213,15 +207,42 @@ def _inv_replica_consistency(ctx: _RunContext) -> None:
             raise SpecViolation(str(exc)) from None
 
 
+def _inv_vi_liveness(ctx: _RunContext) -> None:
+    """Every virtual node is live in every virtual round from
+    ``liveness_by`` (a virtual-round index) onward."""
+    by = ctx.spec.metrics.liveness_by
+    if by is None:
+        raise ConfigurationError(
+            "the liveness invariant needs MetricsSpec.liveness_by "
+            "(a virtual-round index for emulations)"
+        )
+    for site in ctx.world.sites:
+        outcomes = ctx.world.outcomes[site.vn_id]
+        tail = outcomes[by:]
+        if not tail:
+            raise SpecViolation(
+                f"liveness: the run ended before virtual round {by}",
+                context={"vn_id": site.vn_id, "by": by},
+            )
+        for offset, outcome in enumerate(tail):
+            if not outcome.live:
+                raise SpecViolation(
+                    f"liveness: virtual node {site.vn_id} not live at "
+                    f"virtual round {by + offset} (required from {by} on)",
+                    context={"vn_id": site.vn_id, "vr": by + offset,
+                             "by": by},
+                )
+
+
 _FULL_HISTORY_INVARIANTS: dict[str, Callable[[_RunContext], None]] = {
     "validity": _inv_validity,
     "agreement": _inv_agreement,
     "liveness": _inv_liveness,
-    "property4": lambda ctx: check_property4(ctx.cha_run),
-    "lemma5": lambda ctx: check_lemma5(ctx.cha_run),
-    "lemma6": lambda ctx: check_lemma6(ctx.cha_run),
-    "lemma9": lambda ctx: check_lemma9(ctx.cha_run),
-    "prev_pointer": lambda ctx: check_prev_pointer_discipline(ctx.cha_run),
+    # The glass-box lemma checkers come from the analysis registry, the
+    # single source of truth shared with ad-hoc ChaRun debugging
+    # (repro.analysis.collect_violations).
+    **{name: (lambda ctx, checker=checker: checker(ctx.cha_run))
+       for name, checker in GLASS_BOX_CHECKERS.items()},
 }
 
 #: Checkpoint outputs are (checkpoint, suffix) pairs, not full histories,
@@ -233,6 +254,7 @@ _CHECKPOINT_INVARIANTS = {
 
 _VI_INVARIANTS: dict[str, Callable[[_RunContext], None]] = {
     "replica_consistency": _inv_replica_consistency,
+    "liveness": _inv_vi_liveness,
 }
 
 
@@ -250,7 +272,8 @@ def _registries_for(protocol) -> tuple[dict, dict]:
     raise ConfigurationError(f"unknown protocol spec {protocol!r}")
 
 
-def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str]]:
+def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str],
+                                        dict[str, dict[str, Any]]]:
     metric_registry, invariant_registry = _registries_for(ctx.spec.protocol)
     metrics: dict[str, Any] = {}
     for name in ctx.spec.metrics.metrics:
@@ -270,6 +293,7 @@ def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str]]:
             n for n in expanded if n not in wanted
         ]
     verdicts: dict[str, str] = {}
+    contexts: dict[str, dict[str, Any]] = {}
     for name in wanted:
         if name not in invariant_registry:
             raise ConfigurationError(
@@ -281,9 +305,12 @@ def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str]]:
             invariant_registry[name](ctx)
         except SpecViolation as exc:
             verdicts[name] = f"violated: {exc}"
+            # The checker's reproduction context (violating instance,
+            # nodes, colours) feeds the shrinker's horizon heuristics.
+            contexts[name] = dict(exc.context)
         else:
             verdicts[name] = OK
-    return metrics, verdicts
+    return metrics, verdicts, contexts
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +328,11 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     grid point, so sweeps are repeatable by construction.
     """
     spec.validate()
+    if spec.faults is not None:
+        # Lazy import: repro.faults.explorer sits *above* this module.
+        from ..faults.compile import apply_faults
+
+        spec = apply_faults(spec)
     protocol = spec.protocol
     if isinstance(protocol, ThreePhaseCommit):
         return _run_three_phase_commit(spec)
@@ -382,9 +414,10 @@ def _run_cluster(spec: ExperimentSpec) -> ExperimentResult:
                          instances=instances)
         ctx.cha_run = cha_run
         outputs, proposals = cha_run.outputs, cha_run.proposals
-    metrics, verdicts = _extract(ctx)
+    metrics, verdicts, contexts = _extract(ctx)
     return ExperimentResult(
         spec=spec, metrics=metrics, invariants=verdicts,
+        violation_context=contexts,
         outputs=outputs, proposals=proposals,
         trace=trace if spec.keep_trace else None,
         simulator=sim, cha_run=cha_run, processes=processes,
@@ -425,9 +458,10 @@ def _run_emulation(spec: ExperimentSpec) -> ExperimentResult:
     ctx = _RunContext(spec=spec, rounds_run=world.sim.current_round,
                       wire=wire, sim=world.sim, world=world,
                       processes=dict(world.devices))
-    metrics, verdicts = _extract(ctx)
+    metrics, verdicts, contexts = _extract(ctx)
     return ExperimentResult(
         spec=spec, metrics=metrics, invariants=verdicts,
+        violation_context=contexts,
         trace=world.sim.trace if spec.keep_trace else None,
         simulator=world.sim, world=world, processes=dict(world.devices),
         clients=clients, named_clients=named,
@@ -448,8 +482,9 @@ def _run_three_phase_commit(spec: ExperimentSpec) -> ExperimentResult:
     decision = txn.run()
     ctx = _RunContext(spec=spec, decision=decision, participants=participants,
                       txn_log=tuple(txn.log))
-    metrics, verdicts = _extract(ctx)
+    metrics, verdicts, contexts = _extract(ctx)
     return ExperimentResult(
         spec=spec, metrics=metrics, invariants=verdicts,
+        violation_context=contexts,
         decision=decision, participants=participants,
     )

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime use
+    # of FaultPlan lives in repro.faults.compile, resolved lazily by the
+    # runner).
+    from ..faults.plan import FaultPlan
 
 from ..contention import ContentionManager
 from ..detectors import CollisionDetector
@@ -223,6 +228,11 @@ class ExperimentSpec:
     environment: EnvironmentSpec = field(default_factory=EnvironmentSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    #: A declarative :class:`~repro.faults.FaultPlan`; the runner
+    #: compiles it into the environment (adversary, crashes, detector,
+    #: stabilisation rounds) on entry.  Stays inert — and picklable —
+    #: until then, so fault-laden sweeps fan out like any other.
+    faults: "FaultPlan | None" = None
     #: Retain the full :class:`~repro.net.trace.Trace`?  Sweeps switch
     #: this off: every registry metric is computed online via observers.
     keep_trace: bool = True
@@ -234,6 +244,11 @@ class ExperimentSpec:
             if world is not None:
                 raise ConfigurationError(
                     "the 3PC comparator runs off-channel: world must be None"
+                )
+            if self.faults is not None:
+                raise ConfigurationError(
+                    "the 3PC comparator runs off-channel: it cannot carry "
+                    "a FaultPlan"
                 )
             return
         if isinstance(protocol, VIEmulation):

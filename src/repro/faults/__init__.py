@@ -1,0 +1,98 @@
+"""Deterministic fault injection: plans, exploration, shrinking repros.
+
+The paper's guarantees are *conditional* on environment behaviour —
+collisions are arbitrary before ``rcf``, detector false positives are
+allowed before ``racc``, crashes may hit at any point of a send step.
+This package makes that environment a first-class, declarative object:
+
+* :mod:`~repro.faults.plan` — composable seeded **fault primitives**
+  (:class:`CrashWave`, :class:`Partition`, :class:`MessageStorm`,
+  :class:`SenderSuppression`, :class:`DetectorNoise`,
+  :class:`MobilityChurn`) bundled into a :class:`FaultPlan` that any
+  :class:`~repro.experiment.ExperimentSpec` carries via ``faults=``.
+* :mod:`~repro.faults.compile` — compiles a plan down to the classic
+  :class:`~repro.net.Adversary` / :class:`~repro.net.CrashSchedule` /
+  :class:`~repro.net.MobilityModel` interfaces, raising the world's
+  stabilisation rounds so plans stay inside the model.
+* :mod:`~repro.faults.explorer` — fans seeded plans across every
+  protocol, checking the executable CHA spec plus every lemma
+  invariant on each run.
+* :mod:`~repro.faults.shrink` — minimises a failing case (fewer faults,
+  fewer nodes, shorter horizon) and emits a runnable pytest reproducer.
+
+Quickstart::
+
+    from repro.faults import (DetectorNoise, MessageStorm, explore, plan,
+                              shrink_case, reproducer_source)
+
+    report = explore([plan(MessageStorm(intensity=0.5, until=30),
+                           DetectorNoise(p_false=0.4, until=30))],
+                     seeds=range(5))
+    assert not report.unsound_failures, report.summary()
+
+    # The two-phase ablation *does* fail; pin it down:
+    case = next(c for c in report.failures if c.protocol == "two-phase-cha")
+    print(reproducer_source(shrink_case(case)))
+"""
+
+from .compile import MaterializedFaults, apply_faults, materialize
+from .explorer import (
+    ExplorationCase,
+    ExplorationReport,
+    Failure,
+    PROTOCOLS,
+    SOUND_PROTOCOLS,
+    default_instances,
+    explore,
+    run_case,
+    run_case_detailed,
+)
+from .plan import (
+    NEVER,
+    CrashWave,
+    DetectorNoise,
+    FaultPlan,
+    FaultPrimitive,
+    MessageStorm,
+    MobilityChurn,
+    Partition,
+    SenderSuppression,
+    plan,
+    subseed,
+)
+from .shrink import (
+    ShrinkResult,
+    reproducer_source,
+    shrink_case,
+    write_reproducer,
+)
+
+__all__ = [
+    "NEVER",
+    "PROTOCOLS",
+    "SOUND_PROTOCOLS",
+    "CrashWave",
+    "DetectorNoise",
+    "ExplorationCase",
+    "ExplorationReport",
+    "Failure",
+    "FaultPlan",
+    "FaultPrimitive",
+    "MaterializedFaults",
+    "MessageStorm",
+    "MobilityChurn",
+    "Partition",
+    "SenderSuppression",
+    "ShrinkResult",
+    "apply_faults",
+    "default_instances",
+    "explore",
+    "materialize",
+    "plan",
+    "reproducer_source",
+    "run_case",
+    "run_case_detailed",
+    "shrink_case",
+    "subseed",
+    "write_reproducer",
+]

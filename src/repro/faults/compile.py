@@ -1,0 +1,202 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` into a live environment.
+
+Two layers:
+
+* :func:`materialize` — pure compilation of ``(plan, n)`` into the
+  classic environment components (one composed
+  :class:`~repro.net.Adversary`, one :class:`~repro.net.CrashSchedule`,
+  extra mobility models, and the ``rcf``/``racc`` stabilisation rounds
+  the plan needs).
+* :func:`apply_faults` — rewrite an
+  :class:`~repro.experiment.ExperimentSpec` carrying a ``faults=`` plan
+  into an equivalent explicit spec: environment fields filled in, the
+  world's ``rcf`` raised to cover the plan, a default
+  eventually-accurate detector / post-stabilisation-stable contention
+  manager where the caller supplied none.
+
+:func:`repro.experiment.runner.run` calls :func:`apply_faults` on entry,
+so a plan-carrying spec runs anywhere a plain spec does — including
+pickled into sweep workers, where the late (per-process) materialisation
+keeps serial and parallel sweeps byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from zlib import crc32
+
+from ..contention import LeaderElectionCM
+from ..detectors import EventuallyAccurateDetector
+from ..errors import ConfigurationError
+from ..net.adversary import Adversary, ComposedAdversary
+from ..net.mobility import MobilityModel
+from ..net.node import Crash, CrashSchedule
+from ..types import Round
+from .plan import FaultPlan, subseed
+
+#: Salt for the default contention manager's chaos stream.
+_CM_SALT = 0xC3A05
+
+
+@dataclass(frozen=True)
+class MaterializedFaults:
+    """The classic environment components one plan compiles to."""
+
+    adversary: Adversary | None
+    crashes: CrashSchedule | None
+    mobility: tuple[MobilityModel, ...]
+    #: Stabilisation rounds the plan needs the world/detector to honour.
+    rcf: Round
+    racc: Round
+
+
+def _primitive_seed(plan_seed: int, primitive, occurrence: int) -> int:
+    """A private sub-seed keyed by the primitive's *identity* (class +
+    parameters, via its eval-able repr) plus its occurrence count among
+    equal siblings — NOT its position.  Removing or reordering sibling
+    primitives therefore never perturbs this primitive's streams, the
+    property the shrinker's drop-a-primitive step leans on."""
+    identity = crc32(repr(primitive).encode("utf-8"))
+    return subseed(plan_seed, identity + occurrence, 0xFA017)
+
+
+def materialize(plan: FaultPlan, *, n: int) -> MaterializedFaults:
+    """Compile ``plan`` for an ``n``-node world.
+
+    Deterministic, and stable under plan surgery: every primitive draws
+    from a private sub-seed derived from ``(plan.seed, the primitive's
+    own parameters)`` — see :func:`_primitive_seed` — so dropping or
+    reordering one primitive never reseeds the others.
+    """
+    adversaries: list[Adversary] = []
+    crash_events: list[Crash] = []
+    mobility: list[MobilityModel] = []
+    occurrences: dict[str, int] = {}
+    for primitive in plan.primitives:
+        key = repr(primitive)
+        occurrence = occurrences.get(key, 0)
+        occurrences[key] = occurrence + 1
+        seed = _primitive_seed(plan.seed, primitive, occurrence)
+        adv = primitive.adversary(n, seed)
+        if adv is not None:
+            adversaries.append(adv)
+        crash_events.extend(primitive.crashes(n, seed))
+        mobility.extend(primitive.mobility(seed))
+
+    # Several crash waves may doom the same node; the earliest wins
+    # (CrashSchedule itself insists on at most one crash per node).
+    first_crash: dict[int, Crash] = {}
+    for crash in crash_events:
+        kept = first_crash.get(crash.node)
+        if kept is None or crash.round < kept.round:
+            first_crash[crash.node] = crash
+
+    adversary: Adversary | None
+    if not adversaries:
+        adversary = None
+    elif len(adversaries) == 1:
+        adversary = adversaries[0]
+    else:
+        adversary = ComposedAdversary(*adversaries)
+    return MaterializedFaults(
+        adversary=adversary,
+        crashes=CrashSchedule(first_crash.values()) if first_crash else None,
+        mobility=tuple(mobility),
+        rcf=plan.rcf_requirement(),
+        racc=plan.racc_requirement(),
+    )
+
+
+def apply_faults(spec):
+    """An explicit :class:`ExperimentSpec` equivalent to ``spec``.
+
+    No-op when ``spec.faults`` is None.  Otherwise the plan is
+    materialised against the spec's world and folded into the
+    environment:
+
+    * the plan adversary composes with any explicit one;
+    * plan crashes fill the ``crashes`` slot (setting both explicitly
+      and via the plan is a configuration error — crash schedules do
+      not merge meaningfully);
+    * a missing detector becomes
+      :class:`~repro.detectors.EventuallyAccurateDetector` accurate from
+      the plan's ``racc``, and an explicit ◇AC detector has its ``racc``
+      raised to cover the plan (other detector classes are kept as-is —
+      their accuracy discipline gates the plan's noise); a missing
+      cluster contention manager becomes a
+      :class:`~repro.contention.LeaderElectionCM` stable from the
+      plan's stabilisation round;
+    * the world's ``rcf`` (and, for deployed worlds,
+      ``cm_stable_round``) is raised to the plan's requirement, and
+      mobility-churn devices are appended to deployed worlds.
+    """
+    from ..experiment.spec import ClusterWorld, DeployedWorld, DeviceSpec
+
+    plan = spec.faults
+    if plan is None:
+        return spec
+    if not isinstance(plan, FaultPlan):
+        raise ConfigurationError(
+            f"faults must be a FaultPlan, got {type(plan).__name__}"
+        )
+    world = spec.world
+    if isinstance(world, ClusterWorld):
+        n = world.n
+    elif isinstance(world, DeployedWorld):
+        n = len(world.devices)
+    else:
+        raise ConfigurationError(
+            "a FaultPlan needs a ClusterWorld or DeployedWorld to bite on"
+        )
+
+    mat = materialize(plan, n=n)
+    env = spec.environment
+    if mat.crashes is not None and env.crashes is not None:
+        raise ConfigurationError(
+            "both environment.crashes and a crash-bearing FaultPlan are "
+            "set; crash schedules do not merge — pick one"
+        )
+
+    adversary = env.adversary
+    if mat.adversary is not None:
+        adversary = (mat.adversary if adversary is None
+                     else ComposedAdversary(adversary, mat.adversary))
+    detector = env.detector
+    if detector is None:
+        detector = EventuallyAccurateDetector(racc=mat.racc)
+    elif (isinstance(detector, EventuallyAccurateDetector)
+          and detector.racc < mat.racc):
+        # Raise the accuracy round to cover the plan's noise window,
+        # mirroring how the world's rcf is raised below.  Detectors of
+        # other classes are kept as-is: their accuracy discipline then
+        # gates how much of the plan's noise is honoured.
+        detector = EventuallyAccurateDetector(racc=mat.racc)
+    stab = plan.stabilization_round()
+    cm = env.cm
+    if cm is None and isinstance(world, ClusterWorld):
+        # Chaotic (seeded-random) advice while the environment is
+        # hostile, one stable leader afterwards — the paper grants real
+        # back-off protocols exactly this freedom, and the pre-stability
+        # interleavings are where decide-and-die schedules hide.
+        cm = LeaderElectionCM(stable_round=stab, chaos="random",
+                              seed=subseed(plan.seed, 0, _CM_SALT))
+    env = dataclasses.replace(
+        env, adversary=adversary, detector=detector, cm=cm,
+        crashes=env.crashes if mat.crashes is None else mat.crashes,
+    )
+
+    if isinstance(world, ClusterWorld):
+        world = dataclasses.replace(world, rcf=max(world.rcf, mat.rcf))
+    else:
+        devices = world.devices + tuple(
+            DeviceSpec(mobility=model) for model in mat.mobility
+        )
+        world = dataclasses.replace(
+            world, rcf=max(world.rcf, mat.rcf), devices=devices,
+            cm_stable_round=max(world.cm_stable_round, stab),
+        )
+    # faults=None makes application idempotent: running the returned
+    # spec again cannot compose the plan's interference a second time.
+    return dataclasses.replace(spec, world=world, environment=env,
+                               faults=None)

@@ -1,0 +1,177 @@
+"""Deterministically minimise a failing (plan, world, workload) triple.
+
+Given an :class:`~repro.faults.explorer.ExplorationCase` that failed,
+:func:`shrink_case` greedily searches for the smallest configuration
+that still fails *any* invariant: fewer primitives, weaker primitives
+(each knows its own :meth:`~repro.faults.plan.FaultPrimitive.shrink_variants`),
+fewer nodes, a shorter horizon.  Every oracle call is a fully seeded
+re-run, so the search — and therefore the reproducer it emits — is
+deterministic end to end.
+
+The violation context captured by the invariant checkers
+(:attr:`~repro.errors.SpecViolation.context`) steers the horizon cut:
+if the checker named the violating instance, the shrinker first tries
+truncating the run just past it, which typically collapses the horizon
+in one step instead of a bisection ladder.
+
+:func:`reproducer_source` renders the minimised case as a ready-to-paste
+pytest test whose only dependency is :func:`repro.faults.explorer.run_case`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator
+
+from .explorer import Failure, ExplorationCase, run_case_detailed
+from .plan import FaultPlan
+
+#: Smallest world the shrinker will try (one potential victim plus the
+#: standing correct node).
+MIN_NODES = 2
+#: Smallest workload the shrinker will try.
+MIN_INSTANCES = 2
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimised failing case plus search statistics."""
+
+    case: ExplorationCase
+    #: Oracle re-runs spent (includes unsuccessful candidates).
+    attempts: int
+    #: Successful shrink steps taken.
+    steps: int
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self.case.plan
+
+    @property
+    def failure(self) -> Failure:
+        assert self.case.failure is not None
+        return self.case.failure
+
+
+def _instance_hint(failure: Failure) -> int | None:
+    """The violating instance the checker reported, if any."""
+    hints = [
+        value for key in ("instance", "at", "green")
+        if isinstance(value := failure.context.get(key), int) and value > 0
+    ]
+    return max(hints, default=None)
+
+
+def _candidates(case: ExplorationCase) -> Iterator[ExplorationCase]:
+    """Strictly smaller configurations, most aggressive first."""
+    plan, n, instances = case.plan, case.n, case.instances
+
+    def with_(plan=plan, n=n, instances=instances):
+        return dataclasses.replace(case, plan=plan, n=n, instances=instances)
+
+    # 1. Cut the horizon to just past the violating instance.
+    if case.failure is not None:
+        hint = _instance_hint(case.failure)
+        if hint is not None and hint + 1 < instances:
+            yield with_(instances=max(hint + 1, MIN_INSTANCES))
+    # 2. Drop whole primitives (later ones first: earlier primitives are
+    #    usually the ones that armed the violation window).
+    for i in reversed(range(len(plan.primitives))):
+        pruned = plan.primitives[:i] + plan.primitives[i + 1:]
+        yield with_(plan=dataclasses.replace(plan, primitives=pruned))
+    # 3. Shrink the world.
+    if n // 2 >= MIN_NODES and n // 2 < n:
+        yield with_(n=n // 2)
+    if n - 1 >= MIN_NODES:
+        yield with_(n=n - 1)
+    # 4. Shrink the horizon.
+    if instances // 2 >= MIN_INSTANCES:
+        yield with_(instances=instances // 2)
+    if instances - 1 >= MIN_INSTANCES:
+        yield with_(instances=instances - 1)
+    # 5. Weaken each primitive in place.
+    for i, primitive in enumerate(plan.primitives):
+        for variant in primitive.shrink_variants():
+            prims = plan.primitives[:i] + (variant,) + plan.primitives[i + 1:]
+            yield with_(plan=dataclasses.replace(plan, primitives=prims))
+
+
+def shrink_case(case: ExplorationCase, *,
+                max_attempts: int = 250) -> ShrinkResult:
+    """Greedy deterministic minimisation of a failing exploration case.
+
+    Takes the first improving candidate at each step and restarts the
+    candidate scan from it, until no candidate still fails (a local
+    minimum) or the attempt budget runs out.  The failing invariant may
+    change along the way — any violation keeps a candidate.
+    """
+    if case.failure is None:
+        raise ValueError("shrink_case needs a failing case")
+    # Re-run the starting point so the verdict set matches this oracle.
+    best = run_case_detailed(case.protocol, case.plan, n=case.n,
+                             instances=case.instances)
+    if best.failure is None:
+        raise ValueError(
+            "the case does not fail under re-execution; is the plan seeded?"
+        )
+    attempts, steps = 1, 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(best):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            rerun = run_case_detailed(
+                candidate.protocol, candidate.plan,
+                n=candidate.n, instances=candidate.instances,
+            )
+            if rerun.failure is not None:
+                best = rerun
+                steps += 1
+                improved = True
+                break
+    return ShrinkResult(case=best, attempts=attempts, steps=steps)
+
+
+# ----------------------------------------------------------------------
+# Reproducer emission
+# ----------------------------------------------------------------------
+
+def reproducer_source(result: ShrinkResult | ExplorationCase, *,
+                      test_name: str = "test_fault_reproducer") -> str:
+    """A runnable pytest module reproducing the (shrunk) failure.
+
+    The plan's repr is eval-able (all primitives are frozen dataclasses
+    of plain values), so the emitted file pins the exact seeded
+    configuration and asserts the violation still fires.
+    """
+    case = result.case if isinstance(result, ShrinkResult) else result
+    if case.failure is None:
+        raise ValueError("only failing cases can be emitted as reproducers")
+    names = sorted({type(p).__name__ for p in case.plan.primitives})
+    imports = ", ".join(["FaultPlan"] + names)
+    return f'''"""Auto-generated by repro.faults.shrink — a pinned, seeded reproducer.
+
+Observed failure: {case.failure}
+"""
+
+from repro.faults import {imports}
+from repro.faults.explorer import run_case
+
+
+def {test_name}():
+    plan = {case.plan!r}
+    failure = run_case({case.protocol!r}, plan, n={case.n}, instances={case.instances})
+    assert failure is not None, "the fault plan no longer reproduces the violation"
+'''
+
+
+def write_reproducer(result: ShrinkResult | ExplorationCase,
+                     path: str) -> str:
+    """Write :func:`reproducer_source` to ``path`` (returns the path)."""
+    source = reproducer_source(result)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(source)
+    return path

@@ -4,9 +4,12 @@ from .adversary import (
     Adversary,
     ComposedAdversary,
     NoAdversary,
+    NoiseBurstAdversary,
     PartitionAdversary,
     RandomLossAdversary,
     ScriptedAdversary,
+    TargetedDropAdversary,
+    WindowAdversary,
 )
 from .channel import Channel, RadioSpec, Reception
 from .location import LocationService
@@ -35,6 +38,7 @@ __all__ = [
     "Message",
     "MobilityModel",
     "NoAdversary",
+    "NoiseBurstAdversary",
     "OrbitMobility",
     "PartitionAdversary",
     "Process",
@@ -47,7 +51,9 @@ __all__ = [
     "ScriptedAdversary",
     "Simulator",
     "StaticMobility",
+    "TargetedDropAdversary",
     "Trace",
     "WaypointMobility",
+    "WindowAdversary",
     "wire_size",
 ]

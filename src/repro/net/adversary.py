@@ -19,7 +19,10 @@ of the *environment*, not of the anonymous protocol.
 
 from __future__ import annotations
 
-import random
+# Only the seedable generator class is imported: every adversary owns a
+# private random.Random so composed adversaries can never couple through
+# (or perturb) the process-global RNG stream.
+from random import Random
 from abc import ABC, abstractmethod
 from typing import Iterable, Mapping
 
@@ -69,10 +72,10 @@ class RandomLossAdversary(Adversary):
             raise ValueError("probabilities must lie in [0, 1]")
         self._p_drop = p_drop
         self._p_false = p_false
-        self._rng = random.Random(seed)
+        self._rng = Random(seed)
         # Independent stream for false collisions so that drop decisions do
         # not perturb false-collision decisions across configurations.
-        self._rng_false = random.Random(seed ^ 0x5F5E_100)
+        self._rng_false = Random(seed ^ 0x5F5E_100)
 
     def drops(self, r, tentative):
         out: dict[NodeId, frozenset[NodeId]] = {}
@@ -162,11 +165,110 @@ class PartitionAdversary(Adversary):
         return False
 
 
+class TargetedDropAdversary(Adversary):
+    """Suppresses every delivery from a fixed set of senders.
+
+    While ``start <= r < until``, any message whose sender is in
+    ``senders`` is destroyed at every receiver — the "jam one node's
+    transmitter" attack.  With ``until=None`` the suppression never ends
+    on its own (the channel still stops honouring it at ``rcf``).
+    """
+
+    def __init__(self, senders: Iterable[NodeId], *,
+                 start: Round = 0, until: Round | None = None) -> None:
+        self._senders = frozenset(senders)
+        self._start = start
+        self._until = until
+
+    def _active(self, r: Round) -> bool:
+        return r >= self._start and (self._until is None or r < self._until)
+
+    def drops(self, r, tentative):
+        if not self._active(r):
+            return {}
+        out: dict[NodeId, frozenset[NodeId]] = {}
+        for receiver, msgs in tentative.items():
+            doomed = frozenset(
+                m.sender for m in msgs if m.sender in self._senders
+            )
+            if doomed:
+                out[receiver] = doomed
+        return out
+
+    def false_collision(self, r, node):
+        return False
+
+
+class NoiseBurstAdversary(Adversary):
+    """Pure detector noise: seeded false-collision bursts, no drops.
+
+    While ``start <= r < until``, each node independently receives a
+    spurious collision indication with probability ``p_false`` per round.
+    Owns a private :class:`random.Random` keyed by ``(seed, node)`` so the
+    per-node streams are independent of visitation order.
+    """
+
+    def __init__(self, *, p_false: float, start: Round = 0,
+                 until: Round | None = None, seed: int = 0) -> None:
+        if not 0.0 <= p_false <= 1.0:
+            raise ValueError("p_false must lie in [0, 1]")
+        self._p_false = p_false
+        self._start = start
+        self._until = until
+        self._seed = seed
+        self._rngs: dict[NodeId, Random] = {}
+
+    def drops(self, r, tentative):
+        return {}
+
+    def false_collision(self, r, node):
+        if r < self._start or (self._until is not None and r >= self._until):
+            return False
+        rng = self._rngs.get(node)
+        if rng is None:
+            rng = self._rngs[node] = Random((self._seed << 20) ^ (node + 1))
+        return rng.random() < self._p_false
+
+
+class WindowAdversary(Adversary):
+    """Gates another adversary to a round window ``[start, until)``.
+
+    Outside the window the inner adversary is not consulted at all, so
+    its RNG streams advance only while the window is open — a windowed
+    run is a prefix-faithful replay of the unwindowed one.
+    """
+
+    def __init__(self, inner: Adversary, *, start: Round = 0,
+                 until: Round | None = None) -> None:
+        self._inner = inner
+        self._start = start
+        self._until = until
+
+    def _active(self, r: Round) -> bool:
+        return r >= self._start and (self._until is None or r < self._until)
+
+    def drops(self, r, tentative):
+        return self._inner.drops(r, tentative) if self._active(r) else {}
+
+    def false_collision(self, r, node):
+        return self._inner.false_collision(r, node) if self._active(r) else False
+
+
 class ComposedAdversary(Adversary):
-    """Union of several adversaries: drops and false collisions combine."""
+    """Union of several adversaries: drops and false collisions combine.
+
+    Every part is consulted every round (no short-circuiting), so seeded
+    parts consume their private RNG streams at the same rate whether or
+    not a sibling already decided to interfere — composition never
+    perturbs a part's behaviour relative to running it alone.
+    """
 
     def __init__(self, *parts: Adversary) -> None:
         self._parts = parts
+
+    @property
+    def parts(self) -> tuple[Adversary, ...]:
+        return tuple(self._parts)
 
     def drops(self, r, tentative):
         out: dict[NodeId, frozenset[NodeId]] = {}
@@ -176,4 +278,7 @@ class ComposedAdversary(Adversary):
         return out
 
     def false_collision(self, r, node):
-        return any(part.false_collision(r, node) for part in self._parts)
+        # Evaluate every part (no any()-short-circuit): parts with seeded
+        # state must see the same query sequence regardless of siblings.
+        fired = [part.false_collision(r, node) for part in self._parts]
+        return any(fired)

@@ -3,14 +3,20 @@
 Benchmarks and soak tests need *families* of reproducible environments;
 these helpers derive them from (n, seed) pairs so that every table row
 names its exact configuration.
+
+The environment generators are thin shims over the declarative
+:mod:`repro.faults` primitives — one vocabulary of adversarial
+behaviour, whether it is consumed imperatively (these helpers) or
+declaratively (``ExperimentSpec(faults=...)``).
 """
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Any, Callable
 
-from ..net import Crash, CrashPoint, CrashSchedule, RandomLossAdversary
+from ..faults.plan import CrashWave, MessageStorm
+from ..net import CrashSchedule, RandomLossAdversary
 from ..types import NodeId, Round
 
 
@@ -22,32 +28,27 @@ def random_crash_schedule(n: int, *, fraction: float, horizon: Round,
     Nodes in ``spare`` never crash (at least one correct node is a
     standing assumption of the model).  A share of the crashes use the
     AFTER_SEND point, exercising the footnote-2 decide-and-die path.
+
+    Shim over :class:`repro.faults.CrashWave` (identical seeded output).
     """
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must lie in [0, 1]")
-    rng = random.Random(seed)
-    candidates = [node for node in range(n) if node not in spare]
-    rng.shuffle(candidates)
-    doomed = candidates[: int(round(fraction * n))]
-    crashes = []
-    for node in doomed:
-        point = (CrashPoint.AFTER_SEND
-                 if rng.random() < after_send_fraction
-                 else CrashPoint.BEFORE_SEND)
-        crashes.append(Crash(node, rng.randrange(1, max(horizon, 2)), point))
-    return CrashSchedule(crashes)
+    wave = CrashWave(fraction=fraction, horizon=horizon,
+                     spare=frozenset(spare),
+                     after_send_fraction=after_send_fraction)
+    return CrashSchedule(wave.crashes(n, seed))
 
 
 def storm_adversary(*, intensity: float, seed: int) -> RandomLossAdversary:
     """A calibrated lossy channel: ``intensity`` in [0, 1] scales both the
-    drop rate (up to 0.7) and the false-collision rate (up to 0.5)."""
-    if not 0.0 <= intensity <= 1.0:
-        raise ValueError("intensity must lie in [0, 1]")
-    return RandomLossAdversary(
-        p_drop=0.7 * intensity,
-        p_false=0.5 * intensity,
-        seed=seed,
-    )
+    drop rate (up to 0.7) and the false-collision rate (up to 0.5).
+
+    Shim over :class:`repro.faults.MessageStorm` with an unbounded
+    window (identical seeded output).
+    """
+    return MessageStorm(
+        intensity=intensity,
+        detector_noise=0.5 * intensity,
+        until=None,
+    ).adversary(0, seed)
 
 
 def periodic_client_script(*, period: int, rounds: int,
@@ -68,7 +69,7 @@ def poisson_client_script(*, rate: float, rounds: int,
     """A client script with i.i.d. per-round send probability ``rate``."""
     if not 0.0 <= rate <= 1.0:
         raise ValueError("rate must lie in [0, 1]")
-    rng = random.Random(seed)
+    rng = Random(seed)
     script = {}
     i = 0
     for vr in range(rounds):

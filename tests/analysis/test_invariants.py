@@ -101,3 +101,36 @@ class TestCheckersDetectViolations:
         run.processes[0].core.prev_instance = 1
         with pytest.raises(SpecViolation, match="prev-instance"):
             check_prev_pointer_discipline(run)
+
+
+class TestCollectViolations:
+    """The non-raising enumeration used for ad-hoc ChaRun debugging."""
+
+    def make_run(self):
+        return run_cha(n=3, instances=5)
+
+    def test_clean_run_yields_nothing(self):
+        from repro.analysis import collect_violations, first_violation
+
+        run = self.make_run()
+        assert collect_violations(run) == {}
+        assert first_violation(run) is None
+
+    def test_all_failures_reported_with_context(self):
+        from repro.analysis import collect_violations, first_violation
+
+        run = self.make_run()
+        # One corruption tripping several checkers at once.
+        run.processes[0].core.status[2] = Color.RED
+        violations = collect_violations(run)
+        assert {"lemma5", "lemma6"} <= set(violations)
+        assert all(isinstance(v, SpecViolation) for v in violations.values())
+        assert violations["lemma6"].context["instance"] == 2
+        assert first_violation(run) is not None
+
+    def test_registry_matches_check_all_invariants(self):
+        from repro.analysis import GLASS_BOX_CHECKERS
+
+        assert set(GLASS_BOX_CHECKERS) == {
+            "property4", "lemma5", "lemma6", "lemma9", "prev_pointer",
+        }

@@ -97,3 +97,39 @@ class TestSweep:
                 .build())
         points = sweep(spec, {"workload__virtual_rounds": (2, 4)}, workers=2)
         assert [p.metrics["availability"] for p in points] == [{0: 1.0}, {0: 1.0}]
+
+
+class TestSweepWithFaultPlan:
+    """A FaultPlan on the spec materialises per point inside the worker,
+    so fault-laden sweeps keep the serial/parallel byte-identity
+    guarantee — and the plan's seed is just another grid axis."""
+
+    def faulted_spec(self):
+        from repro.faults import CrashWave, MessageStorm, plan
+
+        return (scenario().nodes(5).instances(15).cha()
+                .faults(plan(MessageStorm(intensity=0.4, until=24),
+                             CrashWave(fraction=0.3, horizon=18)))
+                .metrics("decided_instances", "total_broadcasts",
+                         "collision_flags")
+                .invariants("all")
+                .build())
+
+    GRID = {"faults__seed": (0, 1, 2, 3), "world__n": (4, 6)}
+
+    def test_serial_and_parallel_byte_identical(self):
+        serial = sweep(self.faulted_spec(), self.GRID)
+        parallel = sweep(self.faulted_spec(), self.GRID, workers=3)
+        assert [pickle.dumps(p) for p in serial] \
+            == [pickle.dumps(p) for p in parallel]
+
+    def test_plan_seed_is_a_grid_axis_that_matters(self):
+        points = sweep(self.faulted_spec(), self.GRID, workers=2)
+        assert len(points) == 8
+        by_seed = {p["faults__seed"]: p.metrics["collision_flags"]
+                   for p in points if p["world__n"] == 6}
+        assert len({repr(flags) for flags in by_seed.values()}) > 1
+
+    def test_invariants_hold_across_the_grid(self):
+        for point in sweep(self.faulted_spec(), self.GRID, workers=2):
+            assert all(v == "ok" for v in point.invariants.values()), point

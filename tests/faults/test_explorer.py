@@ -1,0 +1,120 @@
+"""The schedule explorer: plans x seeds x protocols, spec-checked."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.explorer import PROTOCOLS as PROTOCOL_FACTORIES
+from repro.faults.explorer import liveness_deadline
+from repro.faults import (
+    CrashWave,
+    DetectorNoise,
+    MessageStorm,
+    Partition,
+    PROTOCOLS,
+    SOUND_PROTOCOLS,
+    default_instances,
+    explore,
+    plan,
+    run_case,
+    run_case_detailed,
+)
+
+MODERATE = plan(MessageStorm(intensity=0.35, until=24),
+                CrashWave(fraction=0.25, horizon=18))
+
+
+class TestRunCase:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_case("paxos", MODERATE, n=4, instances=10)
+
+    def test_sound_protocol_returns_none(self):
+        assert run_case("cha", MODERATE.with_seed(1), n=4, instances=20) is None
+
+    def test_detailed_case_carries_verdicts(self):
+        case = run_case_detailed("cha", MODERATE.with_seed(1), n=4,
+                                 instances=20)
+        assert case.verdicts["agreement"] == "ok"
+        assert case.verdicts["validity"] == "ok"
+        assert not case.failed
+
+    def test_registry_covers_at_least_four_protocols(self):
+        assert len(PROTOCOLS) >= 4
+        assert set(SOUND_PROTOCOLS) <= set(PROTOCOLS)
+
+
+class TestDefaultInstances:
+    def test_outlasts_the_hostile_window(self):
+        budget = default_instances(plan(Partition(until=60)))
+        assert budget * 3 > 60  # rounds comfortably past stabilisation
+
+    def test_unbounded_plans_get_the_base_budget(self):
+        assert default_instances(plan(MessageStorm(until=None))) == \
+            default_instances(plan())
+
+
+class TestLivenessIsChecked:
+    """The explorer must demand convergence, not just safety — a
+    protocol that stalls forever after stabilisation is a failure."""
+
+    def test_cluster_specs_arm_the_liveness_invariant(self):
+        p = MODERATE
+        spec = PROTOCOL_FACTORIES["cha"](p, 4, default_instances(p))
+        assert spec.metrics.liveness_by is not None
+        assert spec.metrics.liveness_by * 3 > p.stabilization_round()
+
+    def test_vi_specs_arm_the_liveness_invariant(self):
+        spec = PROTOCOL_FACTORIES["vi"](MODERATE, 4, 12)
+        assert "liveness" in spec.metrics.invariants
+        assert spec.metrics.liveness_by == 9
+
+    def test_deadline_uses_the_protocol_cadence(self):
+        p = plan(Partition(until=30))
+        assert liveness_deadline(p, 40, rpi=3) == 13
+        assert liveness_deadline(p, 40, rpi=2) == 18
+
+    def test_deadline_none_when_plan_never_stabilises(self):
+        assert liveness_deadline(plan(MessageStorm(until=None)), 40) is None
+
+    def test_deadline_none_when_workload_too_short(self):
+        assert liveness_deadline(plan(Partition(until=60)), 10) is None
+
+
+@pytest.mark.fast
+class TestExplore:
+    def test_case_grid_shape_and_order(self):
+        report = explore([MODERATE], protocols=("cha", "naive-rsm"),
+                         seeds=(0, 1), n=4, instances=16)
+        assert len(report.cases) == 4
+        assert [c.protocol for c in report.cases] == \
+            ["cha", "naive-rsm", "cha", "naive-rsm"]
+        assert [c.plan.seed for c in report.cases] == [0, 0, 1, 1]
+
+    def test_sound_protocols_survive_everything(self):
+        report = explore(
+            [MODERATE,
+             plan(Partition(until=18), DetectorNoise(p_false=0.3, until=24))],
+            protocols=("cha", "checkpoint-cha", "naive-rsm"),
+            seeds=(0, 1), n=5,
+        )
+        assert not report.failures, report.summary()
+        assert not report.unsound_failures
+
+    def test_two_phase_ablation_is_caught(self):
+        """The explorer's reason to exist: the unsafe ablation is found."""
+        report = explore(
+            [plan(DetectorNoise(p_false=0.35, until=40),
+                  CrashWave(fraction=0.4, horizon=40,
+                            after_send_fraction=0.5))],
+            protocols=("two-phase-cha",), seeds=range(6), n=8, instances=40,
+        )
+        assert report.failures
+        assert not report.unsound_failures  # two-phase is expected-unsound
+        assert "two-phase-cha" in report.summary()
+
+    def test_vi_emulation_runs_under_plans(self):
+        report = explore([MODERATE], protocols=("vi",), seeds=(0,), n=4,
+                         instances=10)
+        (case,) = report.cases
+        assert case.verdicts == {"replica_consistency": "ok",
+                                 "liveness": "ok"}

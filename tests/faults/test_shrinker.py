@@ -1,0 +1,96 @@
+"""Shrinking failing fault plans down to pinned pytest reproducers.
+
+The end-to-end demo uses the repository's deliberately unsafe ablation
+(two-phase CHA, the veto-2-less protocol) as the injected bug: the
+explorer finds a violating seeded plan, the shrinker minimises it to a
+handful of nodes and rounds, and the emitted reproducer runs as a
+self-contained pytest test.
+"""
+
+import pytest
+
+from repro.baselines.two_phase_cha import TWO_PHASE_ROUNDS
+from repro.faults import (
+    CrashWave,
+    DetectorNoise,
+    explore,
+    plan,
+    reproducer_source,
+    run_case_detailed,
+    shrink_case,
+    write_reproducer,
+)
+
+INJECTED_BUG_PLAN = plan(
+    DetectorNoise(p_false=0.35, until=40),
+    CrashWave(fraction=0.4, horizon=40, after_send_fraction=0.5),
+)
+
+
+@pytest.fixture(scope="module")
+def failing_case():
+    report = explore([INJECTED_BUG_PLAN], protocols=("two-phase-cha",),
+                     seeds=range(6), n=8, instances=40)
+    assert report.failures, "expected the unsafe ablation to fail"
+    return report.failures[0]
+
+
+@pytest.fixture(scope="module")
+def shrunk(failing_case):
+    return shrink_case(failing_case)
+
+
+class TestShrinker:
+    def test_demo_reaches_a_tiny_configuration(self, failing_case, shrunk):
+        """Acceptance demo: <= 5 nodes and <= 60 rounds from an 8-node,
+        80-round failing start."""
+        assert shrunk.case.failure is not None
+        assert shrunk.case.n <= 5
+        assert shrunk.case.instances * TWO_PHASE_ROUNDS <= 60
+        assert shrunk.case.n <= failing_case.n
+        assert shrunk.case.instances <= failing_case.instances
+
+    def test_shrunk_case_still_fails_on_rerun(self, shrunk):
+        rerun = run_case_detailed(
+            shrunk.case.protocol, shrunk.case.plan,
+            n=shrunk.case.n, instances=shrunk.case.instances,
+        )
+        assert rerun.failure is not None
+
+    def test_shrinking_is_deterministic(self, failing_case, shrunk):
+        again = shrink_case(failing_case)
+        assert again.case == shrunk.case
+        assert again.attempts == shrunk.attempts
+
+    def test_passing_case_rejected(self):
+        ok = run_case_detailed("cha", plan(), n=3, instances=5)
+        with pytest.raises(ValueError):
+            shrink_case(ok)
+
+
+class TestReproducerEmission:
+    def test_source_is_a_runnable_failing_test(self, shrunk):
+        source = reproducer_source(shrunk)
+        namespace = {}
+        exec(compile(source, "<reproducer>", "exec"), namespace)
+        # The generated test asserts the violation still fires; it must
+        # pass (i.e. the plan still reproduces the bug).
+        namespace["test_fault_reproducer"]()
+
+    def test_source_pins_the_exact_configuration(self, shrunk):
+        source = reproducer_source(shrunk)
+        assert repr(shrunk.case.plan) in source
+        assert f"n={shrunk.case.n}" in source
+        assert repr(shrunk.case.protocol) in source
+
+    def test_write_reproducer_collected_by_pytest(self, shrunk, tmp_path):
+        path = tmp_path / "test_shrunk_reproducer.py"
+        write_reproducer(shrunk, str(path))
+        text = path.read_text()
+        assert text.startswith('"""Auto-generated')
+        assert "def test_fault_reproducer" in text
+
+    def test_passing_case_cannot_be_emitted(self):
+        ok = run_case_detailed("cha", plan(), n=3, instances=5)
+        with pytest.raises(ValueError):
+            reproducer_source(ok)
