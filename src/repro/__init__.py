@@ -21,6 +21,12 @@ A complete Python reproduction of Chockler, Gilbert & Lynch (PODC 2008):
   :class:`ExperimentSpec` describes world + environment + protocol +
   workload + metrics; :func:`run` executes any of them uniformly and
   :func:`sweep` fans parameter grids out over worker processes.
+* :mod:`repro.bench` — the performance layer: seeded benchmark
+  scenarios over every protocol family (``python -m repro.bench``
+  emits ``BENCH_results.json``), with regression gating against the
+  committed baseline.  The engine's indexed fast path is proven
+  byte-identical to the reference channel by the differential suite;
+  ``REPRO_REFERENCE_CHANNEL=1`` re-runs anything on the slow path.
 
 Quickstart::
 

@@ -1,0 +1,109 @@
+"""``python -m repro.bench`` — run the benchmark matrix.
+
+Emits ``BENCH_results.json`` (wall time, rounds/sec, per-phase breakdown
+and speedup-vs-reference per scenario) and optionally gates against the
+committed baseline, exiting non-zero on a >15% regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .compare import DEFAULT_BASELINE_PATH, DEFAULT_TOLERANCE, compare_reports
+from .runner import load_report, run_benchmarks, write_report
+from .scenarios import ALL_SCENARIOS, QUICK_SCENARIOS, scenario_by_name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the simulation engine across protocol "
+                    "families and emit BENCH_results.json.",
+    )
+    parser.add_argument("--out", default="BENCH_results.json",
+                        help="result file path (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the reduced CI smoke matrix")
+    parser.add_argument("--scenarios",
+                        help="comma-separated scenario names (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="trials per path; best is reported "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-reference", action="store_true",
+                        help="skip reference-channel timings (faster; "
+                             "disables the speedup metric)")
+    parser.add_argument("--compare", nargs="?", const=str(DEFAULT_BASELINE_PATH),
+                        metavar="BASELINE",
+                        help="after running, fail on regression vs this "
+                             "baseline (default: %(const)s)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="maximum tolerated fractional regression "
+                             "(default: %(default)s)")
+    parser.add_argument("--metric", default="speedup_vs_reference",
+                        choices=("speedup_vs_reference", "rounds_per_sec"),
+                        help="regression metric (default: %(default)s; "
+                             "rounds_per_sec only makes sense on the "
+                             "machine that produced the baseline)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"also write results to {DEFAULT_BASELINE_PATH}")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for s in ALL_SCENARIOS:
+            tag = " [quick]" if s.quick else ""
+            print(f"{s.name:24s} {s.family:14s} n={s.n:<4d}{tag} {s.description}")
+        return 0
+
+    if args.scenarios:
+        scenarios = [scenario_by_name(name.strip())
+                     for name in args.scenarios.split(",") if name.strip()]
+    elif args.quick:
+        scenarios = list(QUICK_SCENARIOS)
+    else:
+        scenarios = list(ALL_SCENARIOS)
+
+    print(f"repro.bench: {len(scenarios)} scenario(s), "
+          f"{args.repeats} repeat(s), reference="
+          f"{'off' if args.no_reference else 'on'}")
+    report = run_benchmarks(
+        scenarios, repeats=args.repeats,
+        reference=not args.no_reference, log=print,
+    )
+    out = write_report(report, args.out)
+    print(f"wrote {out}")
+    for name, row in report["results"].items():
+        speedup = row["speedup_vs_reference"]
+        speedup_txt = f"  speedup {speedup:.2f}x" if speedup else ""
+        print(f"  {name:24s} {row['rounds']:>6d} rounds  "
+              f"{row['rounds_per_sec']:>10.0f} rounds/s{speedup_txt}")
+
+    if args.update_baseline:
+        write_report(report, DEFAULT_BASELINE_PATH)
+        print(f"updated {DEFAULT_BASELINE_PATH}")
+
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} does not exist",
+                  file=sys.stderr)
+            return 2
+        regressions = compare_reports(
+            report, load_report(baseline_path),
+            tolerance=args.tolerance, metric=args.metric,
+        )
+        if regressions:
+            print(f"REGRESSION vs {baseline_path}:", file=sys.stderr)
+            for message in regressions:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {baseline_path} "
+              f"(metric {args.metric}, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

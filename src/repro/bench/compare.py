@@ -1,0 +1,56 @@
+"""Regression gating against a committed benchmark baseline.
+
+The committed baseline (``benchmarks/BENCH_baseline.json``) stores, per
+scenario, the indexed fast path's speedup over the reference channel.
+That ratio cancels out machine speed, so a laptop and a CI runner gate
+on the same number: a change that erodes the fast path's advantage by
+more than the tolerance (default 15%) fails, however fast the hardware.
+
+Absolute metrics (``rounds_per_sec``) can be gated too — meaningful only
+when baseline and current run were produced on comparable machines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: The committed baseline the CI smoke job compares against.
+DEFAULT_BASELINE_PATH = Path("benchmarks") / "BENCH_baseline.json"
+
+#: Maximum tolerated fractional regression.
+DEFAULT_TOLERANCE = 0.15
+
+
+def compare_reports(current: dict, baseline: dict, *,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    metric: str = "speedup_vs_reference") -> list[str]:
+    """Regression messages (empty when everything is within tolerance).
+
+    A scenario regresses when its ``metric`` falls more than
+    ``tolerance`` below the baseline's.  Scenarios present on only one
+    side are skipped — the gate compares what both reports measured —
+    and so are scenarios the baseline marks ``"gated": false`` (their
+    speedup ratio sits within run-to-run noise; they are informational).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must lie in [0, 1), got {tolerance}")
+    regressions = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name in sorted(base_results):
+        if name not in cur_results:
+            continue
+        if base_results[name].get("gated", True) is False:
+            continue
+        base_value = base_results[name].get(metric)
+        cur_value = cur_results[name].get(metric)
+        if base_value is None or cur_value is None:
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if cur_value < floor:
+            regressions.append(
+                f"{name}: {metric} regressed {base_value:.3f} -> "
+                f"{cur_value:.3f} (floor {floor:.3f} at "
+                f"{tolerance:.0%} tolerance)"
+            )
+    return regressions

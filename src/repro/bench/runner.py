@@ -1,0 +1,160 @@
+"""Time benchmark scenarios on the fast and reference engine paths.
+
+Each scenario trial builds a fresh spec (fresh seeded components) and
+drives it through :func:`repro.experiment.runner.run`, with a timing
+proxy around :meth:`Channel.deliver` installed via the runner's
+``instrument`` hook so the report can break each round's wall time into
+the *channel* phase and the *protocol + engine* remainder.
+
+Reference timings re-run the same scenario with the channel pinned to
+its all-pairs reference path and the simulator's caches disabled — the
+same switch ``REPRO_REFERENCE_CHANNEL=1`` flips globally — giving the
+machine-independent ``speedup_vs_reference`` ratio the regression gate
+(:mod:`repro.bench.compare`) is keyed on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..experiment.runner import run
+from .scenarios import ALL_SCENARIOS, BenchScenario
+
+#: BENCH_results.json schema version.
+SCHEMA = 1
+
+
+class _ChannelTimer:
+    """Delegating proxy accumulating time spent in Channel.deliver."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+        self.calls = 0
+
+    def deliver(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = self._inner.deliver(*args, **kwargs)
+        self.seconds += time.perf_counter() - t0
+        self.calls += 1
+        return out
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measurements (the unit of BENCH_results.json)."""
+
+    name: str
+    family: str
+    n: int
+    description: str
+    rounds: int
+    #: Whether this scenario participates in the speedup regression gate
+    #: (channel-dominated scenarios only; see BenchScenario.gated).
+    gated: bool
+    #: Fast-path wall time (best of ``repeats`` trials) and throughput.
+    wall_s: float
+    rounds_per_sec: float
+    #: Per-phase wall-time breakdown of the best fast trial.
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Reference-path numbers (None when ``--no-reference``).
+    reference_wall_s: float | None = None
+    reference_rounds_per_sec: float | None = None
+    #: The machine-independent regression metric.
+    speedup_vs_reference: float | None = None
+
+
+def _time_once(scenario: BenchScenario, *,
+               reference: bool) -> tuple[float, int, dict[str, float]]:
+    """One trial: returns (wall_s, rounds, phase breakdown)."""
+    spec = scenario.make_spec()
+    timer_box: list[_ChannelTimer] = []
+
+    def instrument(sim) -> None:
+        if reference:
+            sim.fast_path = False
+            sim.channel.use_reference = True
+        timer = _ChannelTimer(sim.channel)
+        sim.channel = timer
+        timer_box.append(timer)
+
+    result = run(spec, instrument=instrument)
+    wall = result.timings["wall_s"]
+    rounds = int(result.timings.get("rounds", 0))
+    channel_s = timer_box[0].seconds if timer_box else 0.0
+    phases = {
+        "channel_s": channel_s,
+        "protocol_and_engine_s": max(0.0, wall - channel_s),
+    }
+    return wall, rounds, phases
+
+
+def run_scenario(scenario: BenchScenario, *, repeats: int = 3,
+                 reference: bool = True,
+                 log: Callable[[str], None] | None = None) -> BenchResult:
+    """Benchmark one scenario; wall times are the best of ``repeats``."""
+    say = log or (lambda msg: None)
+    say(f"  {scenario.name}: fast path x{repeats} ...")
+    fast_trials = [_time_once(scenario, reference=False)
+                   for _ in range(repeats)]
+    wall, rounds, phases = min(fast_trials, key=lambda t: t[0])
+    result = BenchResult(
+        name=scenario.name,
+        family=scenario.family,
+        n=scenario.n,
+        description=scenario.description,
+        rounds=rounds,
+        gated=scenario.gated,
+        wall_s=wall,
+        rounds_per_sec=rounds / wall if wall > 0 else 0.0,
+        phases=phases,
+    )
+    if reference:
+        say(f"  {scenario.name}: reference path x{repeats} ...")
+        ref_trials = [_time_once(scenario, reference=True)
+                      for _ in range(repeats)]
+        ref_wall, ref_rounds, _ = min(ref_trials, key=lambda t: t[0])
+        result.reference_wall_s = ref_wall
+        result.reference_rounds_per_sec = (
+            ref_rounds / ref_wall if ref_wall > 0 else 0.0)
+        if wall > 0:
+            result.speedup_vs_reference = ref_wall / wall
+    return result
+
+
+def run_benchmarks(scenarios: Iterable[BenchScenario] = ALL_SCENARIOS, *,
+                   repeats: int = 3, reference: bool = True,
+                   log: Callable[[str], None] | None = None) -> dict:
+    """Run a scenario matrix and assemble the report dict."""
+    results = {}
+    for scenario in scenarios:
+        results[scenario.name] = asdict(run_scenario(
+            scenario, repeats=repeats, reference=reference, log=log))
+    return {
+        "schema": SCHEMA,
+        "config": {"repeats": repeats, "reference": reference},
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench report schema "
+            f"{report.get('schema')!r} (expected {SCHEMA})"
+        )
+    return report

@@ -1,0 +1,192 @@
+"""Seeded benchmark scenarios over every protocol family.
+
+Each scenario is a pure description that builds a fresh
+:class:`~repro.experiment.spec.ExperimentSpec` on demand, so repeated
+trials never share mutable state (seeded adversaries and mobility models
+are re-constructed per trial and replay identically).
+
+The node range spans 50-400 physical nodes.  ``e8-majority-200`` and
+``e8-cha-200`` are the E8-style headliners: the two columns of benchmark
+E1.5/E8 (CHAP and the majority-quorum RSM sharing one collision-prone
+channel) at 200 nodes, which is where the indexed channel's speedup over
+the reference path is asserted by the acceptance tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..experiment import (
+    CHA,
+    CheckpointCHA,
+    ClusterWorld,
+    DeployedWorld,
+    DeviceSpec,
+    ExperimentSpec,
+    MajorityRSM,
+    NaiveRSM,
+    TwoPhaseCHA,
+    VIEmulation,
+    WorkloadSpec,
+)
+from ..geometry import Point
+from ..net import RandomLossAdversary
+from ..vi.program import CounterProgram
+from ..vi.schedule import VNSite
+
+
+def _count_reducer(state: Any, k: int, value: Any) -> Any:
+    """Checkpoint reducer: fold decided instances into a running count."""
+    return (state or 0) + 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named, deterministic benchmark configuration."""
+
+    name: str
+    family: str
+    #: Physical node / device count.
+    n: int
+    #: Human description for reports.
+    description: str
+    #: Builds a fresh spec (fresh seeded components) per trial.
+    make_spec: Callable[[], ExperimentSpec]
+    #: Part of the reduced CI smoke matrix?
+    quick: bool = False
+    #: Eligible for the speedup regression gate?  Only scenarios whose
+    #: wall time is channel-dominated carry a stable speedup ratio;
+    #: protocol-bound scenarios (e.g. CHA history folding at scale) have
+    #: ratios within run-to-run noise and are reported but not gated.
+    gated: bool = False
+
+
+# ----------------------------------------------------------------------
+# Cluster worlds (Section 3 geometry: everyone within R1/2)
+# ----------------------------------------------------------------------
+
+def _cluster(protocol: Any, n: int, *, instances: int | None = None,
+             rounds: int | None = None, adversary=None,
+             rcf: int = 0) -> Callable[[], ExperimentSpec]:
+    def make() -> ExperimentSpec:
+        spec = ExperimentSpec(
+            protocol=protocol,
+            world=ClusterWorld(n=n, rcf=rcf),
+            workload=WorkloadSpec(instances=instances, rounds=rounds),
+            keep_trace=False,
+        )
+        if adversary is not None:
+            spec = spec.override(environment__adversary=adversary())
+        return spec
+    return make
+
+
+# ----------------------------------------------------------------------
+# Deployed world (Section 4): a corridor of virtual nodes under load
+# ----------------------------------------------------------------------
+
+def _vi_grid(n_sites: int, replicas_per_vn: int,
+             virtual_rounds: int) -> Callable[[], ExperimentSpec]:
+    def make() -> ExperimentSpec:
+        spacing = 6.0
+        cols = max(1, int(math.isqrt(n_sites)))
+        sites = [
+            VNSite(i, Point((i % cols) * spacing, (i // cols) * spacing))
+            for i in range(n_sites)
+        ]
+        devices = []
+        for site in sites:
+            for j in range(replicas_per_vn):
+                angle = 2 * math.pi * j / replicas_per_vn + 0.5
+                devices.append(DeviceSpec(mobility=Point(
+                    site.location.x + 0.12 * math.cos(angle),
+                    site.location.y + 0.12 * math.sin(angle),
+                )))
+        return ExperimentSpec(
+            protocol=VIEmulation(
+                programs={s.vn_id: CounterProgram() for s in sites},
+            ),
+            world=DeployedWorld(sites=tuple(sites), devices=tuple(devices)),
+            workload=WorkloadSpec(virtual_rounds=virtual_rounds),
+            keep_trace=False,
+        )
+    return make
+
+
+#: The benchmark matrix.  Round budgets are sized so each scenario runs
+#: in roughly 0.1-1 s on the fast path — long enough to time reliably,
+#: short enough that the full matrix (fast + reference) stays minutes.
+ALL_SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="cha-50", family="cha", n=50, quick=True,
+        description="plain CHAP, 50-node cluster, 60 instances",
+        make_spec=_cluster(CHA(), 50, instances=60),
+    ),
+    BenchScenario(
+        name="e8-cha-200", family="cha", n=200, quick=True,
+        description="E8 CHAP column at 200 nodes (600-round budget)",
+        make_spec=_cluster(CHA(), 200, instances=200),
+    ),
+    BenchScenario(
+        name="cha-400", family="cha", n=400,
+        description="plain CHAP, 400-node cluster",
+        make_spec=_cluster(CHA(), 400, instances=60),
+    ),
+    BenchScenario(
+        name="e8-majority-200", family="majority-rsm", n=200, quick=True,
+        gated=True,
+        description="E8 majority-RSM column at 200 nodes (600-round budget)",
+        make_spec=_cluster(MajorityRSM(), 200, rounds=600),
+    ),
+    BenchScenario(
+        name="majority-400", family="majority-rsm", n=400, gated=True,
+        description="majority RSM, 400-node cluster",
+        make_spec=_cluster(MajorityRSM(), 400, rounds=500),
+    ),
+    BenchScenario(
+        name="checkpoint-cha-100", family="checkpoint-cha", n=100, quick=True,
+        description="checkpoint-CHA (fold-and-GC), 100-node cluster",
+        make_spec=_cluster(
+            CheckpointCHA(reducer=_count_reducer, initial_state=0),
+            100, instances=80,
+        ),
+    ),
+    BenchScenario(
+        name="two-phase-cha-200", family="two-phase-cha", n=200,
+        description="ablation A1 (no veto-2), 200-node cluster",
+        make_spec=_cluster(TwoPhaseCHA(), 200, instances=120),
+    ),
+    BenchScenario(
+        name="naive-rsm-50", family="naive-rsm", n=50,
+        description="full-history strawman, 50-node cluster",
+        make_spec=_cluster(NaiveRSM(), 50, instances=50),
+    ),
+    BenchScenario(
+        name="cha-lossy-100", family="cha", n=100,
+        description="CHAP under 10% seeded loss with rcf=120 (pre-"
+                    "stabilisation adversary path)",
+        make_spec=_cluster(
+            CHA(), 100, instances=80, rcf=120,
+            adversary=lambda: RandomLossAdversary(p_drop=0.10, seed=7),
+        ),
+    ),
+    BenchScenario(
+        name="vi-grid-64", family="vi", n=64, quick=True,
+        description="VI emulation: 16-site grid, 4 replicas each",
+        make_spec=_vi_grid(16, 4, virtual_rounds=30),
+    ),
+)
+
+QUICK_SCENARIOS: tuple[BenchScenario, ...] = tuple(
+    s for s in ALL_SCENARIOS if s.quick
+)
+
+
+def scenario_by_name(name: str) -> BenchScenario:
+    for scenario in ALL_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in ALL_SCENARIOS)
+    raise KeyError(f"unknown bench scenario {name!r}; known: {known}")

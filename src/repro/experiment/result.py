@@ -59,6 +59,11 @@ class ExperimentResult:
     #: The 3PC comparator's decision / participants.
     decision: Any = None
     participants: list[Any] = field(default_factory=list)
+    #: Execution timings filled in by the runner: ``wall_s`` (seconds
+    #: spent building + driving the run) and, for channel-driven
+    #: protocols, ``rounds`` and ``rounds_per_sec``.  The bench subsystem
+    #: (:mod:`repro.bench`) consumes these.
+    timings: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Verdicts

@@ -13,6 +13,7 @@ not a silent ``None``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -317,7 +318,14 @@ def _extract(ctx: _RunContext) -> tuple[dict[str, Any], dict[str, str],
 # Execution
 # ----------------------------------------------------------------------
 
-def run(spec: ExperimentSpec) -> ExperimentResult:
+#: Hook called with the freshly built :class:`~repro.net.Simulator`
+#: before any round executes — the bench subsystem uses it to install
+#: timing proxies; tests use it to reach engine internals mid-run.
+Instrument = Callable[[Any], None]
+
+
+def run(spec: ExperimentSpec, *,
+        instrument: Instrument | None = None) -> ExperimentResult:
     """Run one declarative experiment and return its uniform result.
 
     The spec's environment components (adversary, detector, contention
@@ -326,6 +334,12 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
     live for post-run inspection.  A stateful spec therefore describes
     one run; :func:`repro.experiment.sweep.sweep` copies the spec per
     grid point, so sweeps are repeatable by construction.
+
+    ``instrument`` is called with the built simulator (cluster and
+    emulation runs; the off-channel 3PC comparator has none) before the
+    first round, so callers can attach observers or timing wrappers.
+    The result's :attr:`~.result.ExperimentResult.timings` carries the
+    run's wall time and, where rounds exist, the rounds/sec throughput.
     """
     spec.validate()
     if spec.faults is not None:
@@ -334,14 +348,29 @@ def run(spec: ExperimentSpec) -> ExperimentResult:
 
         spec = apply_faults(spec)
     protocol = spec.protocol
+    started = time.perf_counter()
     if isinstance(protocol, ThreePhaseCommit):
-        return _run_three_phase_commit(spec)
-    if isinstance(protocol, VIEmulation):
-        return _run_emulation(spec)
-    return _run_cluster(spec)
+        if instrument is not None:
+            raise ConfigurationError(
+                "the 3PC comparator runs off-channel: there is no "
+                "simulator to instrument"
+            )
+        result = _run_three_phase_commit(spec)
+    elif isinstance(protocol, VIEmulation):
+        result = _run_emulation(spec, instrument)
+    else:
+        result = _run_cluster(spec, instrument)
+    wall = time.perf_counter() - started
+    result.timings["wall_s"] = wall
+    if result.simulator is not None:
+        rounds = float(result.simulator.current_round)
+        result.timings["rounds"] = rounds
+        result.timings["rounds_per_sec"] = rounds / wall if wall > 0 else 0.0
+    return result
 
 
-def _run_cluster(spec: ExperimentSpec) -> ExperimentResult:
+def _run_cluster(spec: ExperimentSpec,
+                 instrument: Instrument | None = None) -> ExperimentResult:
     world: ClusterWorld = spec.world
     env = spec.environment
     protocol = spec.protocol
@@ -400,6 +429,8 @@ def _run_cluster(spec: ExperimentSpec) -> ExperimentResult:
 
     rounds = (spec.workload.rounds if spec.workload.rounds is not None
               else spec.workload.instances * rpi)
+    if instrument is not None:
+        instrument(sim)
     trace = sim.run(rounds)
 
     ctx = _RunContext(spec=spec, rounds_run=rounds, wire=wire, sim=sim,
@@ -424,7 +455,8 @@ def _run_cluster(spec: ExperimentSpec) -> ExperimentResult:
     )
 
 
-def _run_emulation(spec: ExperimentSpec) -> ExperimentResult:
+def _run_emulation(spec: ExperimentSpec,
+                   instrument: Instrument | None = None) -> ExperimentResult:
     world_spec: DeployedWorld = spec.world
     protocol: VIEmulation = spec.protocol
     env = spec.environment
@@ -453,6 +485,8 @@ def _run_emulation(spec: ExperimentSpec) -> ExperimentResult:
             if device.name is not None:
                 named[device.name] = device.client
 
+    if instrument is not None:
+        instrument(world.sim)
     world.run_virtual_rounds(spec.workload.virtual_rounds)
 
     ctx = _RunContext(spec=spec, rounds_run=world.sim.current_round,

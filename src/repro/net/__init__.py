@@ -11,7 +11,14 @@ from .adversary import (
     TargetedDropAdversary,
     WindowAdversary,
 )
-from .channel import Channel, RadioSpec, Reception
+from .channel import (
+    Channel,
+    RadioSpec,
+    Reception,
+    REFERENCE_CHANNEL_ENV,
+    reference_channel_forced,
+)
+from .index import SpatialGridIndex
 from .location import LocationService
 from .messages import Message, wire_size
 from .mobility import (
@@ -24,7 +31,7 @@ from .mobility import (
 )
 from .node import Crash, CrashPoint, CrashSchedule, Process
 from .simulator import RoundObserver, Simulator
-from .trace import RoundRecord, Trace
+from .trace import RoundRecord, Trace, canonical_dump
 
 __all__ = [
     "Adversary",
@@ -43,6 +50,7 @@ __all__ = [
     "PartitionAdversary",
     "Process",
     "RadioSpec",
+    "REFERENCE_CHANNEL_ENV",
     "RandomLossAdversary",
     "RandomWaypointMobility",
     "Reception",
@@ -50,10 +58,13 @@ __all__ = [
     "RoundRecord",
     "ScriptedAdversary",
     "Simulator",
+    "SpatialGridIndex",
+    "reference_channel_forced",
     "StaticMobility",
     "TargetedDropAdversary",
     "Trace",
     "WaypointMobility",
     "WindowAdversary",
+    "canonical_dump",
     "wire_size",
 ]

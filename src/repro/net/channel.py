@@ -19,18 +19,47 @@ receiver: whether some message broadcast within ``R1`` was lost
 (:class:`Reception.lost_within_r1`, the completeness trigger of Property
 1) and whether some message broadcast within ``R2`` was lost
 (:class:`Reception.lost_within_r2`, the accuracy licence of Property 2).
+
+Two implementations of the reception rule coexist:
+
+* :meth:`Channel._deliver_reference` — the straightforward all-pairs
+  scan, kept as the executable specification.
+* :meth:`Channel._deliver_indexed` — the default fast path: a
+  :class:`~repro.net.index.SpatialGridIndex` turns the per-receiver scans
+  into per-sender cell lookups, and the per-receiver ground-truth
+  bookkeeping (the ``lost_within_*`` flags the detector consumes)
+  collapses to constant-time set-size arithmetic whenever no adversarial
+  drop is in play.
+
+The two paths are guaranteed to produce *identical* reception maps — the
+randomized differential suite (``tests/net/test_differential.py``)
+asserts equality over geometries, radii, adversaries, and mobility, and
+byte-identical trace pickles end to end.  Set ``REPRO_REFERENCE_CHANNEL=1``
+in the environment (or pass ``use_reference=True``) to re-run anything on
+the reference path when debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Mapping
 
 from ..errors import ConfigurationError
 from ..geometry import Point
 from ..types import NodeId, Round
 from .adversary import Adversary, NoAdversary
+from .index import SpatialGridIndex
 from .messages import Message
+
+#: Environment switch: any value except ``""``/``"0"`` forces every newly
+#: constructed channel onto the reference (all-pairs) delivery path.
+REFERENCE_CHANNEL_ENV = "REPRO_REFERENCE_CHANNEL"
+
+
+def reference_channel_forced() -> bool:
+    """Whether the environment pins channels to the reference path."""
+    return os.environ.get(REFERENCE_CHANNEL_ENV, "0") not in ("", "0")
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +72,16 @@ class Reception:
     lost_within_r1: bool
     #: True when a message broadcast within R2 of this node was lost.
     lost_within_r2: bool
+
+
+#: Shared silent-round reception: nothing audible, nothing lost.  Frozen
+#: and compared by value, so sharing one instance is invisible to callers
+#: while sparing the fast path an allocation per idle receiver per round.
+_SILENCE = Reception(messages=(), lost_within_r1=False, lost_within_r2=False)
+
+#: Shared reception for "one audible sender, inside R2 but outside R1":
+#: nothing delivered, nothing R1-lost, the R2 broadcast went undelivered.
+_LOST_R2_ONLY = Reception(messages=(), lost_within_r1=False, lost_within_r2=True)
 
 
 @dataclass(frozen=True)
@@ -68,37 +107,67 @@ class RadioSpec:
 class Channel:
     """Computes per-receiver deliveries for one synchronous round."""
 
-    def __init__(self, spec: RadioSpec, adversary: Adversary | None = None) -> None:
+    def __init__(self, spec: RadioSpec, adversary: Adversary | None = None,
+                 *, use_reference: bool | None = None) -> None:
         self.spec = spec
         self.adversary = adversary if adversary is not None else NoAdversary()
+        if use_reference is None:
+            use_reference = reference_channel_forced()
+        self.use_reference = use_reference
+        self._index = SpatialGridIndex(cell_size=spec.r2)
+        self._index_synced = False
 
     def deliver(self, r: Round,
                 positions: Mapping[NodeId, Point],
-                broadcasts: Mapping[NodeId, Message]) -> dict[NodeId, Reception]:
+                broadcasts: Mapping[NodeId, Message],
+                *, positions_unchanged: bool = False) -> dict[NodeId, Reception]:
         """Resolve one round of the channel.
 
         ``positions`` covers every *alive* node (listeners and
         broadcasters); ``broadcasts`` maps broadcasting node ids to their
         messages.  Returns a :class:`Reception` for every node in
         ``positions``.
+
+        ``positions_unchanged`` is a caller promise that ``positions`` is
+        element-for-element identical to the previous ``deliver`` call on
+        this channel, letting the fast path skip re-synchronising its
+        spatial index (the simulator asserts this from its own caches).
         """
         senders = sorted(broadcasts)
         for s in senders:
             if s not in positions:
                 raise ConfigurationError(f"broadcaster {s} has no position")
+        if self.use_reference:
+            return self._deliver_reference(r, positions, broadcasts, senders)
+        return self._deliver_indexed(r, positions, broadcasts, senders,
+                                     positions_unchanged)
 
-        # Physical-layer tentative deliveries (contention rule).
+    # ------------------------------------------------------------------
+    # Reference path (executable specification)
+    # ------------------------------------------------------------------
+
+    def _deliver_reference(self, r: Round,
+                           positions: Mapping[NodeId, Point],
+                           broadcasts: Mapping[NodeId, Message],
+                           senders: list[NodeId] | None = None) -> dict[NodeId, Reception]:
+        """The all-pairs scan the paper's reception rule transcribes to."""
+        if senders is None:
+            senders = sorted(broadcasts)
+
+        # Physical-layer tentative deliveries (contention rule).  One R2
+        # scan per receiver; R1 membership filters it (R1 <= R2 is a
+        # RadioSpec invariant, and the within-predicate is monotone in
+        # the radius, so the filter is exact).
         tentative: dict[NodeId, tuple[Message, ...]] = {}
         in_r1: dict[NodeId, list[NodeId]] = {}
         in_r2: dict[NodeId, list[NodeId]] = {}
         for receiver, where in positions.items():
-            r1_senders = [
-                s for s in senders
-                if s != receiver and positions[s].within(where, self.spec.r1)
-            ]
             r2_senders = [
                 s for s in senders
                 if s != receiver and positions[s].within(where, self.spec.r2)
+            ]
+            r1_senders = [
+                s for s in r2_senders if positions[s].within(where, self.spec.r1)
             ]
             in_r1[receiver] = r1_senders
             in_r2[receiver] = r2_senders
@@ -130,4 +199,156 @@ class Channel:
                 lost_within_r1=bool(missing_r1),
                 lost_within_r2=bool(missing_r2),
             )
+        return receptions
+
+    # ------------------------------------------------------------------
+    # Indexed fast path
+    # ------------------------------------------------------------------
+
+    def _deliver_indexed(self, r: Round,
+                         positions: Mapping[NodeId, Point],
+                         broadcasts: Mapping[NodeId, Message],
+                         senders: list[NodeId],
+                         positions_unchanged: bool = False) -> dict[NodeId, Reception]:
+        """Sender-centric delivery via the spatial grid.
+
+        Instead of scanning all senders per receiver, each sender pushes
+        itself onto the ``in_r1``/``in_r2`` lists of the nodes its cell
+        neighborhood can reach.  Iterating senders in sorted order keeps
+        every per-receiver list sorted by sender id, which is exactly the
+        order the reference path produces.
+        """
+        spec = self.spec
+        index = self._index
+        if not (positions_unchanged and self._index_synced):
+            index.update(positions)
+            self._index_synced = True
+
+        r1_sq = spec.r1 * spec.r1
+        r2_sq = spec.r2 * spec.r2
+        r2 = spec.r2
+        in_r1: dict[NodeId, list[NodeId]] = {}
+        in_r2: dict[NodeId, list[NodeId]] = {}
+        r1_get = in_r1.get
+        r2_get = in_r2.get
+        coords_of = index.coords_of
+        buckets_overlapping = index.buckets_overlapping
+        for s in senders:
+            sx, sy = coords_of(s)
+            for cell in buckets_overlapping(sx, sy, r2):
+                for node, nx, ny in cell.values():
+                    if node == s:
+                        continue
+                    dx = nx - sx
+                    dy = ny - sy
+                    dd = dx * dx + dy * dy
+                    if dd <= r2_sq:
+                        bucket = r2_get(node)
+                        if bucket is None:
+                            in_r2[node] = [s]
+                        else:
+                            bucket.append(s)
+                        if dd <= r1_sq:
+                            bucket = r1_get(node)
+                            if bucket is None:
+                                in_r1[node] = [s]
+                            else:
+                                bucket.append(s)
+
+        if r < spec.rcf:
+            return self._resolve_with_drops(
+                r, positions, broadcasts, in_r1, in_r2)
+
+        # Post-stabilisation fast route: no adversary consultation, so no
+        # tentative-delivery map is needed at all.  Receivers out of range
+        # of every sender share one silent Reception (value-equal to what
+        # the reference path builds); only nodes actually near a sender do
+        # per-receiver work, and the detector's ground-truth flags reduce
+        # to list-length arithmetic instead of missing-sender set scans.
+        receptions: dict[NodeId, Reception] = dict.fromkeys(positions, _SILENCE)
+        Rec = Reception
+        for receiver, r2_senders in in_r2.items():
+            if receiver in broadcasts:
+                continue  # handled below
+            if len(r2_senders) <= 1:
+                r1_senders = r1_get(receiver)
+                if r1_senders is None:
+                    # One audible sender, out of R1: its message is lost.
+                    receptions[receiver] = _LOST_R2_ONLY
+                else:
+                    receptions[receiver] = Rec(
+                        (broadcasts[r1_senders[0]],), False, False)
+            else:
+                # Contention: every in-range broadcast died here.
+                receptions[receiver] = Rec(
+                    (), r1_get(receiver) is not None, True)
+        for s in senders:
+            # Transmitting: hears only itself; concurrent in-range
+            # transmissions count as losses at it.
+            receptions[s] = Rec(
+                (broadcasts[s],), r1_get(s) is not None, r2_get(s) is not None)
+        return receptions
+
+    def _resolve_with_drops(self, r: Round,
+                            positions: Mapping[NodeId, Point],
+                            broadcasts: Mapping[NodeId, Message],
+                            in_r1: dict[NodeId, list[NodeId]],
+                            in_r2: dict[NodeId, list[NodeId]]) -> dict[NodeId, Reception]:
+        """Pre-``rcf`` resolution: materialise tentative deliveries for
+        the adversary, then apply its drops (general bookkeeping)."""
+        empty: tuple[NodeId, ...] = ()
+        r1_get = in_r1.get
+        r2_get = in_r2.get
+        tentative: dict[NodeId, tuple[Message, ...]] = {}
+        for receiver in positions:
+            if receiver in broadcasts:
+                tentative[receiver] = (broadcasts[receiver],)
+            else:
+                r2_senders = r2_get(receiver, empty)
+                if len(r2_senders) <= 1:
+                    tentative[receiver] = tuple(
+                        broadcasts[s] for s in r1_get(receiver, empty)
+                    )
+                else:
+                    tentative[receiver] = ()
+
+        dropped = self.adversary.drops(r, tentative)
+
+        receptions: dict[NodeId, Reception] = {}
+        dropped_get = dropped.get
+        for receiver in positions:
+            doomed = dropped_get(receiver)
+            r1_senders = r1_get(receiver, empty)
+            r2_senders = r2_get(receiver, empty)
+            if doomed:
+                delivered = tuple(
+                    m for m in tentative[receiver] if m.sender not in doomed
+                )
+                got = {m.sender for m in delivered}
+                receptions[receiver] = Reception(
+                    messages=delivered,
+                    lost_within_r1=any(s not in got for s in r1_senders),
+                    lost_within_r2=any(s not in got for s in r2_senders),
+                )
+            elif receiver in broadcasts:
+                receptions[receiver] = Reception(
+                    messages=tentative[receiver],
+                    lost_within_r1=bool(r1_senders),
+                    lost_within_r2=bool(r2_senders),
+                )
+            elif len(r2_senders) <= 1:
+                if not r2_senders:
+                    receptions[receiver] = _SILENCE
+                else:
+                    receptions[receiver] = Reception(
+                        messages=tentative[receiver],
+                        lost_within_r1=False,
+                        lost_within_r2=len(r2_senders) > len(r1_senders),
+                    )
+            else:
+                receptions[receiver] = Reception(
+                    messages=(),
+                    lost_within_r1=bool(r1_senders),
+                    lost_within_r2=True,
+                )
         return receptions

@@ -23,6 +23,16 @@ in Section 2, in this order:
 
 All sources of nondeterminism (mobility, adversary, contention) are owned
 by seeded components, so a run is a pure function of its configuration.
+
+The engine carries a fast path (``fast_path=True``, the default) that
+caches what cannot change between rounds: positions of provably static
+nodes are resolved once instead of through mobility dispatch every round,
+the location service skips re-snapshotting when no position changed, and
+crash bookkeeping short-circuits when no crash schedule exists.  The fast
+path is observably identical to the uncached one — the differential suite
+asserts byte-identical trace pickles — and ``fast_path=False`` (or the
+``REPRO_REFERENCE_CHANNEL`` environment switch, which also pins the
+channel to its reference path) re-runs anything uncached for debugging.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..geometry import Point
 from ..types import NodeId, Round
 from .adversary import Adversary, NoAdversary
-from .channel import Channel, RadioSpec, Reception
+from .channel import Channel, RadioSpec, Reception, reference_channel_forced
 from .location import LocationService
 from .messages import Message
 from .mobility import MobilityModel, StaticMobility
@@ -52,6 +62,9 @@ class _NodeEntry:
     process: Process
     mobility: MobilityModel
     start_round: Round
+    #: Resolved once for provably immobile nodes (``max_speed() == 0``);
+    #: ``None`` means the mobility model must be consulted every round.
+    static_position: Point | None = None
 
 
 class Simulator:
@@ -64,10 +77,14 @@ class Simulator:
                  crashes: CrashSchedule | None = None,
                  location_update_period: int = 1,
                  observers: Iterable[RoundObserver] = (),
-                 record_trace: bool = True) -> None:
+                 record_trace: bool = True,
+                 fast_path: bool | None = None) -> None:
         self.spec = spec
         self.adversary = adversary if adversary is not None else NoAdversary()
         self.channel = Channel(spec, self.adversary)
+        if fast_path is None:
+            fast_path = not reference_channel_forced()
+        self.fast_path = fast_path
         self.detector = detector if detector is not None else EventuallyAccurateDetector()
         self.cms: dict[str, ContentionManager] = dict(cms or {})
         self.crashes = crashes if crashes is not None else CrashSchedule()
@@ -77,6 +94,19 @@ class Simulator:
         self._observers: list[RoundObserver] = list(observers)
         self._nodes: dict[NodeId, _NodeEntry] = {}
         self._round: Round = 0
+        #: Fast-path caches: last round's present set, and whether the
+        #: location service has observed the current (static) positions.
+        self._last_present: list[NodeId] | None = None
+        self._positions_observed = False
+        #: Steady-state caches (maintained by add_node): sorted node ids,
+        #: the latest start_round, whether every node is provably static,
+        #: which processes can ever contend, and — built lazily — the
+        #: full static position map.
+        self._node_list: list[NodeId] = []
+        self._max_start: Round = 0
+        self._all_static = True
+        self._contenders_possible: list[NodeId] = []
+        self._steady_positions: dict[NodeId, Point] | None = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -96,7 +126,27 @@ class Simulator:
         if isinstance(mobility, Point):
             mobility = StaticMobility(mobility)
         node_id = len(self._nodes)
-        self._nodes[node_id] = _NodeEntry(process, mobility, start_round)
+        # Only StaticMobility is cached: it returns the *same* Point
+        # object every round, so the cached and uncached paths build
+        # identical object graphs (and therefore identical trace pickles).
+        static_position = (mobility.position_at(start_round)
+                           if isinstance(mobility, StaticMobility) else None)
+        self._nodes[node_id] = _NodeEntry(process, mobility, start_round,
+                                          static_position)
+        # Maintain the steady-state caches (node ids are sequential, so
+        # appending keeps the node list sorted).
+        self._node_list.append(node_id)
+        self._max_start = max(self._max_start, start_round)
+        self._all_static = self._all_static and static_position is not None
+        # Overridden contend() — on the class or directly on the instance
+        # — means this node may ask for channel access.  Sampled here:
+        # assigning process.contend *after* add_node is unsupported.
+        if (type(process).contend is not Process.contend
+                or "contend" in getattr(process, "__dict__", {})):
+            self._contenders_possible.append(node_id)
+        self._steady_positions = None
+        # New nodes invalidate the positions-unchanged cache.
+        self._last_present = None
         return node_id
 
     def add_cm(self, name: str, cm: ContentionManager) -> None:
@@ -138,20 +188,78 @@ class Simulator:
     def step(self) -> RoundRecord:
         """Execute one synchronous round and append it to the trace."""
         r = self._round
-        present = [
-            node for node in sorted(self._nodes)
-            if self.alive(node, r)
-        ]
-        positions: dict[NodeId, Point] = {
-            node: self._nodes[node].mobility.position_at(r) for node in present
-        }
-        self.locations.observe(r, positions)
+        # With no crash schedule, "alive" reduces to the start_round
+        # check, and every present node both sends and receives.
+        no_crashes = self.fast_path and not len(self.crashes)
+        steady = no_crashes and self._max_start <= r
+        if steady and self._all_static:
+            # Steady state: every node is present and provably immobile,
+            # so the position map is a copy of a once-built cache (same
+            # insertion order, same Point objects as a fresh build).
+            present = self._node_list
+            if self._steady_positions is None:
+                self._steady_positions = {
+                    node: self._nodes[node].static_position
+                    for node in present
+                }
+                unchanged = False
+            else:
+                unchanged = self._positions_observed
+            positions: dict[NodeId, Point] = self._steady_positions.copy()
+        else:
+            if no_crashes:
+                present = [
+                    node for node in self._node_list
+                    if self._nodes[node].start_round <= r
+                ]
+            else:
+                present = [
+                    node for node in self._node_list
+                    if self.alive(node, r)
+                ]
+            positions = {}
+            all_static = True
+            for node in present:
+                entry = self._nodes[node]
+                if entry.static_position is not None:
+                    positions[node] = entry.static_position
+                else:
+                    all_static = False
+                    positions[node] = entry.mobility.position_at(r)
+            unchanged = (all_static
+                         and present == self._last_present
+                         and self._positions_observed)
+        if (self.fast_path and unchanged
+                and self.locations.staleness_bound == 0):
+            # Nothing moved and the service re-snapshots every round: the
+            # current snapshot already equals ``positions`` element for
+            # element, so re-observing would be a no-op dict copy.
+            pass
+        else:
+            self.locations.observe(r, positions)
+            self._positions_observed = True
+        self._last_present = present
 
         # -- contention ------------------------------------------------
         contenders: dict[str, list[NodeId]] = {}
         contended_for: dict[NodeId, str] = {}
-        for node in present:
-            if not self.crashes.sends_in(node, r):
+        # Nodes inheriting the base Process.contend can never contend
+        # (it is stateless and returns None), so only nodes overriding it
+        # are consulted; order matches the sorted ``present`` sweep.
+        if not self.fast_path:
+            candidates = present
+        elif steady:
+            candidates = self._contenders_possible
+        elif no_crashes:
+            candidates = [node for node in self._contenders_possible
+                          if self._nodes[node].start_round <= r]
+        elif len(self._contenders_possible) == len(self._nodes):
+            candidates = present
+        else:
+            candidates = [node for node in self._contenders_possible
+                          if self.alive(node, r)]
+        for node in candidates:
+            if not no_crashes and not self.crashes.sends_in(node, r):
                 continue
             cm_name = self._nodes[node].process.contend(r)
             if cm_name is None:
@@ -173,24 +281,38 @@ class Simulator:
         # -- send --------------------------------------------------------
         broadcasts: dict[NodeId, Message] = {}
         for node in present:
-            if not self.crashes.sends_in(node, r):
+            if not no_crashes and not self.crashes.sends_in(node, r):
                 continue
             payload = self._nodes[node].process.send(r, node in advised)
             if payload is not None:
                 broadcasts[node] = Message(node, payload)
 
         # -- channel -----------------------------------------------------
-        receptions = self.channel.deliver(r, positions, broadcasts)
+        receptions = self.channel.deliver(
+            r, positions, broadcasts,
+            positions_unchanged=unchanged and self.fast_path)
 
         # -- detect & deliver ---------------------------------------------
         flags: dict[NodeId, bool] = {}
         delivered: dict[NodeId, tuple[Message, ...]] = {}
+        # NoAdversary.false_collision is stateless-False, so skipping the
+        # call is unobservable; stateful adversaries are always consulted
+        # (their RNG streams must advance exactly as on the slow path).
+        benign = type(self.adversary) is NoAdversary
+        # Past its accuracy round the paper's detector is a pure function
+        # of the reception's R2 ground truth; inline it.
+        fast_detect = (self.fast_path
+                       and type(self.detector) is EventuallyAccurateDetector
+                       and r >= self.detector.racc)
+        indicate = self.detector.indicate
         for node in present:
-            if not self.crashes.receives_in(node, r):
+            if not no_crashes and not self.crashes.receives_in(node, r):
                 continue
             reception = receptions[node]
-            spurious = self.adversary.false_collision(r, node)
-            flag = self.detector.indicate(r, node, reception, spurious)
+            spurious = (False if benign
+                        else self.adversary.false_collision(r, node))
+            flag = (reception.lost_within_r2 if fast_detect
+                    else indicate(r, node, reception, spurious))
             flags[node] = flag
             delivered[node] = reception.messages
             self._nodes[node].process.deliver(r, reception.messages, flag)
@@ -202,11 +324,17 @@ class Simulator:
                 r, active=advice[cm_name], collided=collided
             )
 
-        crashed_now = frozenset(
-            node for node in sorted(self._nodes)
-            if self.alive(node, r) != self.alive(node, r + 1)
-            and self._nodes[node].start_round <= r
-        )
+        if no_crashes:
+            # Without a crash schedule, aliveness can only flip at a
+            # node's start_round boundary, which never satisfies
+            # ``start_round <= r`` — so nobody crashed this round.
+            crashed_now = frozenset()
+        else:
+            crashed_now = frozenset(
+                node for node in sorted(self._nodes)
+                if self.alive(node, r) != self.alive(node, r + 1)
+                and self._nodes[node].start_round <= r
+            )
         record = RoundRecord(
             round=r,
             positions=positions,

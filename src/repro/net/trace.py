@@ -94,3 +94,39 @@ class Trace:
             for rec in self._records
             if node in rec.broadcasts
         ]
+
+
+def canonical_dump(trace: Trace) -> str:
+    """A stable, human-diffable text rendering of a whole trace.
+
+    Every line is deterministic for a deterministic run and stable
+    across Python versions (float ``repr`` has been shortest-roundtrip
+    since 3.1; all collections are emitted in sorted node order), so the
+    golden-trace regression suite can commit these dumps and compare
+    them byte-for-byte.
+    """
+    lines: list[str] = []
+    for rec in trace:
+        lines.append(f"round {rec.round}")
+        lines.append("  positions: " + " ".join(
+            f"{node}=({rec.positions[node].x!r},{rec.positions[node].y!r})"
+            for node in sorted(rec.positions)
+        ))
+        lines.append("  broadcasts: " + " ".join(
+            f"{node}:{rec.broadcasts[node].payload!r}"
+            for node in sorted(rec.broadcasts)
+        ))
+        lines.append("  receptions: " + " ".join(
+            "{}<-[{}]".format(
+                node,
+                ",".join(str(m.sender) for m in rec.receptions[node]),
+            )
+            for node in sorted(rec.receptions)
+        ))
+        lines.append("  collisions: " + " ".join(
+            f"{node}={'+' if rec.collisions[node] else '-'}"
+            for node in sorted(rec.collisions)
+        ))
+        lines.append(f"  advised: {sorted(rec.advised_active)}")
+        lines.append(f"  crashed: {sorted(rec.crashed)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,182 @@
+"""Tests for the repro.bench subsystem (runner, report, compare, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro.bench import (
+    ALL_SCENARIOS,
+    QUICK_SCENARIOS,
+    BenchScenario,
+    compare_reports,
+    load_report,
+    run_benchmarks,
+    run_scenario,
+    scenario_by_name,
+    write_report,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.bench.runner import SCHEMA
+
+pytestmark = pytest.mark.fast
+
+
+TINY = BenchScenario(
+    name="tiny-cha", family="cha", n=5, gated=True,
+    description="unit-test scenario",
+    make_spec=lambda: ExperimentSpec(
+        protocol=CHA(), world=ClusterWorld(n=5),
+        workload=WorkloadSpec(instances=6), keep_trace=False,
+    ),
+)
+
+
+def test_matrix_covers_every_family_and_node_range():
+    families = {s.family for s in ALL_SCENARIOS}
+    assert {"cha", "checkpoint-cha", "two-phase-cha", "naive-rsm",
+            "majority-rsm", "vi"} <= families
+    sizes = sorted(s.n for s in ALL_SCENARIOS)
+    assert sizes[0] >= 50 and sizes[-1] >= 400
+    assert QUICK_SCENARIOS and set(QUICK_SCENARIOS) <= set(ALL_SCENARIOS)
+    # The acceptance-criteria headliner exists, smokes, and gates.
+    e8 = scenario_by_name("e8-majority-200")
+    assert e8.n == 200 and e8.quick and e8.gated
+    # At least one quick scenario is gated, so CI regression-gates on
+    # every push.
+    assert any(s.gated for s in QUICK_SCENARIOS)
+
+
+def test_scenario_by_name_unknown():
+    with pytest.raises(KeyError, match="unknown bench scenario"):
+        scenario_by_name("nope")
+
+
+def test_run_scenario_measures_both_paths():
+    result = run_scenario(TINY, repeats=1, reference=True)
+    assert result.rounds == 18  # 6 instances x 3 rounds
+    assert result.wall_s > 0 and result.rounds_per_sec > 0
+    assert result.reference_wall_s is not None
+    assert result.speedup_vs_reference == pytest.approx(
+        result.reference_wall_s / result.wall_s)
+    assert set(result.phases) == {"channel_s", "protocol_and_engine_s"}
+    assert 0 <= result.phases["channel_s"] <= result.wall_s
+    assert result.phases["channel_s"] + result.phases["protocol_and_engine_s"] \
+        == pytest.approx(result.wall_s, abs=1e-6)
+
+
+def test_run_scenario_without_reference():
+    result = run_scenario(TINY, repeats=1, reference=False)
+    assert result.reference_wall_s is None
+    assert result.speedup_vs_reference is None
+
+
+def test_report_roundtrip(tmp_path):
+    report = run_benchmarks([TINY], repeats=1, reference=False)
+    assert report["schema"] == SCHEMA
+    path = write_report(report, tmp_path / "BENCH_results.json")
+    loaded = load_report(path)
+    assert loaded == json.loads(path.read_text())
+    assert loaded["results"]["tiny-cha"]["n"] == 5
+
+    bad = dict(report, schema=999)
+    bad_path = write_report(bad, tmp_path / "bad.json")
+    with pytest.raises(ValueError, match="unsupported bench report schema"):
+        load_report(bad_path)
+
+
+def _report_with(metric_values):
+    return {
+        "schema": SCHEMA,
+        "results": {
+            name: {"speedup_vs_reference": value}
+            for name, value in metric_values.items()
+        },
+    }
+
+
+def test_compare_reports_flags_regressions():
+    baseline = _report_with({"a": 4.0, "b": 2.0, "c": 1.5})
+    # Within tolerance, improvements, and a missing scenario: all fine.
+    assert compare_reports(
+        _report_with({"a": 3.5, "b": 2.5}), baseline) == []
+    # 4.0 -> 3.0 is a 25% drop: regression at 15% tolerance.
+    messages = compare_reports(
+        _report_with({"a": 3.0, "b": 2.0, "c": 1.5}), baseline)
+    assert len(messages) == 1 and messages[0].startswith("a:")
+    # ... but passes at 30% tolerance.
+    assert compare_reports(
+        _report_with({"a": 3.0, "b": 2.0, "c": 1.5}), baseline,
+        tolerance=0.30) == []
+
+
+def test_compare_reports_validates_tolerance():
+    with pytest.raises(ValueError):
+        compare_reports(_report_with({}), _report_with({}), tolerance=1.0)
+
+
+def test_compare_skips_null_metrics():
+    baseline = _report_with({"a": 4.0})
+    current = {"schema": SCHEMA,
+               "results": {"a": {"speedup_vs_reference": None}}}
+    assert compare_reports(current, baseline) == []
+
+
+def test_compare_skips_ungated_scenarios():
+    baseline = _report_with({"a": 4.0})
+    baseline["results"]["a"]["gated"] = False
+    current = _report_with({"a": 1.0})  # would be a huge regression
+    assert compare_reports(current, baseline) == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert bench_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "e8-majority-200" in out and "vi-grid-64" in out
+
+
+def test_cli_run_and_compare(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("repro.bench.__main__.ALL_SCENARIOS", (TINY,))
+    monkeypatch.setattr(
+        "repro.bench.scenarios.ALL_SCENARIOS", (TINY,))
+    out = tmp_path / "BENCH_results.json"
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--out", str(out)]) == 0
+    report = load_report(out)
+    assert "tiny-cha" in report["results"]
+
+    # A baseline demanding a 100x speedup must fail the gate ...
+    baseline = dict(report)
+    baseline["results"] = {
+        "tiny-cha": dict(report["results"]["tiny-cha"],
+                         rounds_per_sec=report["results"]["tiny-cha"]
+                         ["rounds_per_sec"] * 100)
+    }
+    base_path = write_report(baseline, tmp_path / "BENCH_baseline.json")
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--out", str(out),
+                       "--compare", str(base_path),
+                       "--metric", "rounds_per_sec"]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+    # ... and an achievable one passes.
+    baseline["results"]["tiny-cha"]["rounds_per_sec"] = 1e-9
+    write_report(baseline, base_path)
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--out", str(out),
+                       "--compare", str(base_path),
+                       "--metric", "rounds_per_sec"]) == 0
+
+
+def test_cli_compare_missing_baseline(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.bench.scenarios.ALL_SCENARIOS", (TINY,))
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--out",
+                       str(tmp_path / "r.json"),
+                       "--compare", str(tmp_path / "absent.json")]) == 2

@@ -3,9 +3,21 @@
 Pins a hypothesis profile with no per-example deadline: several property
 tests drive whole protocol executions, whose first (cold-import) example
 can exceed the default 200 ms deadline and trip a spurious health check.
+
+Also registers ``--update-golden``: the golden-trace regression suite
+(``tests/golden/``) normally asserts byte equality against committed
+canonical dumps; with the flag it rewrites them instead (use after an
+*intentional* trace-affecting change, and review the diff).
 """
 
 from hypothesis import HealthCheck, settings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the committed golden traces instead of comparing",
+    )
 
 settings.register_profile(
     "repro",

@@ -1,0 +1,160 @@
+"""Golden-trace regression tests: one canonical seeded run per family.
+
+Each scenario drives a small deterministic execution and renders its
+trace with :func:`repro.net.canonical_dump`; the committed ``*.golden``
+files pin the exact behaviour of the whole engine — geometry, channel,
+adversary RNG streams, contention, detectors and every protocol's own
+logic.  Any byte of drift fails here first, with a reviewable text diff.
+
+After an intentional behaviour change, refresh with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the diff.  The scenarios deliberately exercise adversaries,
+crashes, late joiners and mobility, not just the happy path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro.experiment import (
+    CheckpointCHA,
+    DeployedWorld,
+    DeviceSpec,
+    EnvironmentSpec,
+    MajorityRSM,
+    NaiveRSM,
+    TwoPhaseCHA,
+    VIEmulation,
+)
+from repro.experiment.runner import run
+from repro.geometry import Point
+from repro.net import (
+    Crash,
+    CrashPoint,
+    CrashSchedule,
+    NoiseBurstAdversary,
+    RandomLossAdversary,
+    WindowAdversary,
+    canonical_dump,
+)
+from repro.vi.program import CounterProgram
+from repro.vi.schedule import VNSite
+
+pytestmark = pytest.mark.fast
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def _count_reducer(state, k, value):
+    return (state or 0) + 1
+
+
+def _cha_spec():
+    return ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=5, rcf=9),
+        environment=EnvironmentSpec(
+            adversary=RandomLossAdversary(p_drop=0.3, p_false=0.2, seed=11),
+            crashes=CrashSchedule([Crash(4, 14, CrashPoint.AFTER_SEND)]),
+        ),
+        workload=WorkloadSpec(instances=8),
+    )
+
+
+def _checkpoint_spec():
+    return ExperimentSpec(
+        protocol=CheckpointCHA(reducer=_count_reducer, initial_state=0),
+        world=ClusterWorld(n=4),
+        workload=WorkloadSpec(instances=8),
+    )
+
+
+def _two_phase_spec():
+    return ExperimentSpec(
+        protocol=TwoPhaseCHA(),
+        world=ClusterWorld(n=4, rcf=6),
+        environment=EnvironmentSpec(
+            adversary=WindowAdversary(
+                RandomLossAdversary(p_drop=0.4, seed=3), until=6),
+        ),
+        workload=WorkloadSpec(instances=8),
+    )
+
+
+def _naive_rsm_spec():
+    return ExperimentSpec(
+        protocol=NaiveRSM(),
+        world=ClusterWorld(n=4),
+        environment=EnvironmentSpec(
+            adversary=NoiseBurstAdversary(p_false=0.3, until=12, seed=21),
+        ),
+        workload=WorkloadSpec(instances=8),
+    )
+
+
+def _majority_spec():
+    return ExperimentSpec(
+        protocol=MajorityRSM(),
+        world=ClusterWorld(n=5),
+        workload=WorkloadSpec(rounds=30),
+    )
+
+
+def _vi_spec():
+    sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(0.5, 0.0)))
+    devices = tuple(
+        DeviceSpec(mobility=Point(site.location.x + dx, 0.1 * (j + 1)))
+        for site in sites
+        for j, dx in enumerate((-0.1, 0.1))
+    )
+    return ExperimentSpec(
+        protocol=VIEmulation(programs={0: CounterProgram(),
+                                       1: CounterProgram()}),
+        world=DeployedWorld(sites=sites, devices=devices),
+        workload=WorkloadSpec(virtual_rounds=6),
+    )
+
+
+SCENARIOS = {
+    "cha": _cha_spec,
+    "checkpoint-cha": _checkpoint_spec,
+    "two-phase-cha": _two_phase_spec,
+    "naive-rsm": _naive_rsm_spec,
+    "majority-rsm": _majority_spec,
+    "vi": _vi_spec,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name, request):
+    dump = canonical_dump(run(SCENARIOS[name]()).trace)
+    path = GOLDEN_DIR / f"{name}.golden"
+    if request.config.getoption("--update-golden"):
+        path.write_text(dump)
+        pytest.skip(f"golden trace {path.name} rewritten")
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        f"pytest tests/golden --update-golden"
+    )
+    committed = path.read_text()
+    assert dump == committed, (
+        f"{name}: trace drifted from the committed golden.  If the "
+        f"change is intentional, refresh with --update-golden and "
+        f"review the diff."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace_reference_path(name, request, monkeypatch):
+    """The goldens hold on the reference path too — the committed files
+    pin *model* behaviour, not fast-path quirks."""
+    if request.config.getoption("--update-golden"):
+        pytest.skip("goldens being rewritten")
+    monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "1")
+    dump = canonical_dump(run(SCENARIOS[name]()).trace)
+    assert dump == (GOLDEN_DIR / f"{name}.golden").read_text()

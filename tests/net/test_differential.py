@@ -1,0 +1,357 @@
+"""Differential verification: fast paths are byte-identical to reference.
+
+The headline guarantee of the performance layer.  Three levels:
+
+1. **Channel** — randomized geometries, radii, broadcast sets and
+   adversaries; the indexed path must produce a Reception map equal to
+   the reference all-pairs path, key set and all.
+2. **Simulator** — whole protocol executions (CHA family, baselines)
+   under mobility churn, crashes and every adversary class; the cached
+   engine + indexed channel must produce byte-identical Trace pickles
+   against the uncached engine + reference channel, in every on/off
+   combination of the two switches.
+3. **Environment switch** — ``REPRO_REFERENCE_CHANNEL=1`` must actually
+   pin new channels/simulators to the slow path.
+
+Everything here is marked ``fast``: this suite is the regression gate
+for any future change to the channel or engine internals.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro.experiment import EnvironmentSpec, MajorityRSM, NaiveRSM, TwoPhaseCHA
+from repro.experiment.runner import run
+from repro.geometry import Point
+from repro.net import (
+    Channel,
+    Crash,
+    CrashPoint,
+    CrashSchedule,
+    Message,
+    NoiseBurstAdversary,
+    RadioSpec,
+    RandomLossAdversary,
+    RandomWaypointMobility,
+    ScriptedAdversary,
+    Simulator,
+    TargetedDropAdversary,
+    WindowAdversary,
+    reference_channel_forced,
+)
+from repro.net.simulator import Simulator as NetSimulator
+
+pytestmark = pytest.mark.fast
+
+
+# ----------------------------------------------------------------------
+# Channel level
+# ----------------------------------------------------------------------
+
+def _random_world(rng: random.Random):
+    n = rng.randint(1, 40)
+    r1 = rng.uniform(0.05, 3.0)
+    r2 = r1 * rng.uniform(1.0, 2.5)
+    rcf = rng.choice([0, 0, 3, 50])
+    spec = RadioSpec(r1=r1, r2=r2, rcf=rcf)
+    span = rng.choice([1.0, 4.0, 20.0])
+    positions = {
+        i: Point(rng.uniform(-span, span), rng.uniform(-span, span))
+        for i in range(n)
+    }
+    broadcasts = {
+        i: Message(i, f"m{i}")
+        for i in range(n) if rng.random() < rng.choice([0.05, 0.3, 0.9])
+    }
+    return spec, positions, broadcasts
+
+
+def _adversary_pair(kind: str, seed: int):
+    """Two independent, identically seeded adversaries (stateful RNGs
+    must not be shared between the two paths)."""
+    def make():
+        if kind == "none":
+            return None
+        if kind == "loss":
+            return RandomLossAdversary(p_drop=0.4, p_false=0.2, seed=seed)
+        if kind == "window-loss":
+            return WindowAdversary(
+                RandomLossAdversary(p_drop=0.5, seed=seed), start=1, until=3)
+        if kind == "targeted":
+            return TargetedDropAdversary([0, 1], start=0, until=4)
+        if kind == "noise":
+            return NoiseBurstAdversary(p_false=0.5, seed=seed)
+        raise AssertionError(kind)
+    return make(), make()
+
+
+@pytest.mark.parametrize("adversary_kind",
+                         ["none", "loss", "window-loss", "targeted", "noise"])
+@pytest.mark.parametrize("seed", range(6))
+def test_channel_differential_randomized(seed, adversary_kind):
+    rng = random.Random(hash((seed, adversary_kind)) & 0xFFFF_FFFF)
+    for trial in range(20):
+        spec, positions, broadcasts = _random_world(rng)
+        adv_fast, adv_ref = _adversary_pair(adversary_kind, seed * 31 + trial)
+        fast = Channel(spec, adv_fast, use_reference=False)
+        ref = Channel(spec, adv_ref, use_reference=True)
+        for r in range(5):
+            got = fast.deliver(r, positions, broadcasts)
+            want = ref.deliver(r, positions, broadcasts)
+            assert got == want
+            assert set(got) == set(positions)
+
+
+def test_channel_differential_incremental_mobility():
+    """The index's incremental updates must track moving geometries."""
+    rng = random.Random(42)
+    spec = RadioSpec(r1=1.0, r2=1.5, rcf=0)
+    fast = Channel(spec, use_reference=False)
+    ref = Channel(spec, use_reference=True)
+    positions = {i: Point(rng.uniform(-4, 4), rng.uniform(-4, 4))
+                 for i in range(25)}
+    for r in range(40):
+        # Churn: some nodes move (a few far, most near), some vanish,
+        # some appear.
+        for node in list(positions):
+            roll = rng.random()
+            if roll < 0.3:
+                p = positions[node]
+                positions[node] = Point(p.x + rng.uniform(-0.2, 0.2),
+                                        p.y + rng.uniform(-0.2, 0.2))
+            elif roll < 0.35:
+                positions[node] = Point(rng.uniform(-4, 4),
+                                        rng.uniform(-4, 4))
+            elif roll < 0.4:
+                del positions[node]
+        if rng.random() < 0.5:
+            positions[100 + r] = Point(rng.uniform(-4, 4), rng.uniform(-4, 4))
+        broadcasts = {i: Message(i, ("p", i, r))
+                      for i in positions if rng.random() < 0.4}
+        assert fast.deliver(r, positions, broadcasts) == \
+            ref.deliver(r, positions, broadcasts)
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_channel_differential_hypothesis(data):
+    """Hypothesis sweep: tight integer-ish geometries hammer the exact
+    boundary cases (distance == radius, shared cells, r1 == r2)."""
+    n = data.draw(st.integers(1, 12), label="n")
+    coords = st.integers(-4, 4).map(float)
+    positions = {
+        i: Point(data.draw(coords), data.draw(coords)) for i in range(n)
+    }
+    r1 = data.draw(st.sampled_from([1.0, 2.0, 3.0]), label="r1")
+    r2 = data.draw(st.sampled_from([1.0, 1.5, 2.0]), label="factor") * r1
+    spec = RadioSpec(r1=r1, r2=max(r1, r2), rcf=0)
+    senders = data.draw(st.sets(st.integers(0, n - 1)), label="senders")
+    broadcasts = {i: Message(i, f"m{i}") for i in senders}
+    fast = Channel(spec, use_reference=False)
+    ref = Channel(spec, use_reference=True)
+    assert fast.deliver(0, positions, broadcasts) == \
+        ref.deliver(0, positions, broadcasts)
+
+
+def test_channel_positions_unchanged_hint():
+    spec = RadioSpec(r1=1.0, r2=1.5)
+    fast = Channel(spec, use_reference=False)
+    ref = Channel(spec, use_reference=True)
+    positions = {i: Point(float(i % 5), float(i // 5)) for i in range(20)}
+    broadcasts = {3: Message(3, "x"), 11: Message(11, "y")}
+    first = fast.deliver(0, positions, broadcasts)
+    hinted = fast.deliver(1, positions, broadcasts, positions_unchanged=True)
+    assert first == hinted == ref.deliver(0, positions, broadcasts)
+
+
+# ----------------------------------------------------------------------
+# Simulator level: byte-identical traces
+# ----------------------------------------------------------------------
+
+def _spec_for(protocol, n, instances, environment):
+    return ExperimentSpec(
+        protocol=protocol,
+        world=ClusterWorld(n=n, rcf=environment.pop("rcf", 0)),
+        environment=EnvironmentSpec(**environment),
+        workload=WorkloadSpec(instances=instances),
+    )
+
+
+def _trace_bytes(spec_factory, *, sim_fast: bool, channel_fast: bool) -> bytes:
+    def instrument(sim):
+        sim.fast_path = sim_fast
+        sim.channel.use_reference = not channel_fast
+    result = run(spec_factory(), instrument=instrument)
+    return pickle.dumps(result.trace)
+
+
+_MODES = [(True, True), (True, False), (False, True), (False, False)]
+
+
+def _environments():
+    yield "benign", lambda: {}
+    yield "lossy", lambda: {
+        "rcf": 60,
+        "adversary": WindowAdversary(
+            RandomLossAdversary(p_drop=0.3, p_false=0.3, seed=5), until=40),
+    }
+    yield "targeted+noise", lambda: {
+        "rcf": 30,
+        "adversary": TargetedDropAdversary([1], until=20),
+        "crashes": CrashSchedule([
+            Crash(0, 10, CrashPoint.AFTER_SEND),
+            Crash(2, 17, CrashPoint.BEFORE_SEND),
+        ]),
+    }
+    yield "bursty", lambda: {
+        "adversary": NoiseBurstAdversary(p_false=0.4, until=25, seed=9),
+    }
+
+
+@pytest.mark.parametrize("protocol_factory",
+                         [CHA, TwoPhaseCHA, NaiveRSM, MajorityRSM],
+                         ids=lambda f: f.__name__)
+@pytest.mark.parametrize("env_name,env_factory", list(_environments()),
+                         ids=[name for name, _ in _environments()])
+def test_simulator_traces_byte_identical(protocol_factory, env_name,
+                                         env_factory):
+    def spec_factory():
+        if protocol_factory is MajorityRSM:
+            return ExperimentSpec(
+                protocol=MajorityRSM(),
+                world=ClusterWorld(n=7, rcf=env_factory().pop("rcf", 0)),
+                environment=EnvironmentSpec(**{
+                    k: v for k, v in env_factory().items() if k != "rcf"
+                }),
+                workload=WorkloadSpec(rounds=45),
+            )
+        return _spec_for(protocol_factory(), 7, 15, env_factory())
+
+    reference = _trace_bytes(spec_factory, sim_fast=False, channel_fast=False)
+    for sim_fast, channel_fast in _MODES[:-1]:
+        assert _trace_bytes(
+            spec_factory, sim_fast=sim_fast, channel_fast=channel_fast,
+        ) == reference, (sim_fast, channel_fast)
+
+
+def test_simulator_traces_byte_identical_under_mobility():
+    """Mobility churn: waypoint-roaming nodes join late and crash."""
+    def build(sim_fast: bool, channel_fast: bool) -> bytes:
+        sim = Simulator(
+            spec=RadioSpec(r1=1.0, r2=1.5, rcf=10),
+            adversary=RandomLossAdversary(p_drop=0.25, seed=3),
+            crashes=CrashSchedule.of({2: 25}),
+            fast_path=sim_fast,
+        )
+        sim.channel.use_reference = not channel_fast
+
+        class Chatter:
+            """Minimal process: broadcasts its id every few rounds."""
+            def __init__(self, me): self.me = me
+            def contend(self, r): return None
+            def send(self, r, active):
+                return ("chat", self.me, r) if (r + self.me) % 3 == 0 else None
+            def deliver(self, r, messages, collision): pass
+
+        for i in range(12):
+            mobility = RandomWaypointMobility(
+                Point(i * 0.3 - 2.0, 0.0), arena=(-3, -3, 3, 3),
+                speed=0.15, seed=100 + i,
+            )
+            sim.add_node(Chatter(i), mobility, start_round=0 if i < 9 else 5)
+        sim.run(40)
+        return pickle.dumps(sim.trace)
+
+    reference = build(False, False)
+    assert build(True, True) == reference
+    assert build(True, False) == reference
+    assert build(False, True) == reference
+
+
+def test_vi_emulation_traces_byte_identical():
+    from repro.experiment import DeployedWorld, DeviceSpec, VIEmulation
+    from repro.vi.program import CounterProgram
+    from repro.vi.schedule import VNSite
+
+    def spec_factory():
+        sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(0.5, 0.0)))
+        devices = tuple(
+            DeviceSpec(mobility=Point(site.location.x + dx, 0.1 * (j + 1)))
+            for site in sites
+            for j, dx in enumerate((-0.1, 0.1))
+        )
+        return ExperimentSpec(
+            protocol=VIEmulation(programs={0: CounterProgram(),
+                                           1: CounterProgram()}),
+            world=DeployedWorld(sites=sites, devices=devices),
+            workload=WorkloadSpec(virtual_rounds=8),
+        )
+
+    reference = _trace_bytes(spec_factory, sim_fast=False, channel_fast=False)
+    for sim_fast, channel_fast in _MODES[:-1]:
+        assert _trace_bytes(
+            spec_factory, sim_fast=sim_fast, channel_fast=channel_fast,
+        ) == reference, (sim_fast, channel_fast)
+
+
+def test_instance_level_contend_override_matches_reference():
+    """A process that gains contend() as an *instance* attribute must be
+    seen by the fast path's contender precomputation."""
+    from repro.contention import LeaderElectionCM
+    from repro.net.node import Process
+
+    class Quiet(Process):
+        def __init__(self):
+            self.active_rounds: list[int] = []
+        def send(self, r, active):
+            if active:
+                self.active_rounds.append(r)
+                return ("beep", r)
+            return None
+        def deliver(self, r, messages, collision): pass
+
+    def build(fast: bool):
+        sim = Simulator(spec=RadioSpec(r1=1.0, r2=1.5),
+                        cms={"C": LeaderElectionCM(stable_round=0)},
+                        fast_path=fast)
+        sim.channel.use_reference = not fast
+        procs = []
+        for i in range(3):
+            p = Quiet()
+            p.contend = lambda r: "C"  # instance-level override
+            sim.add_node(p, Point(0.1 * i, 0.0))
+            procs.append(p)
+        sim.run(6)
+        return pickle.dumps(sim.trace), [p.active_rounds for p in procs]
+
+    ref_bytes, ref_active = build(False)
+    fast_bytes, fast_active = build(True)
+    assert fast_bytes == ref_bytes
+    assert fast_active == ref_active
+    assert any(ref_active), "someone must have been advised active"
+
+
+# ----------------------------------------------------------------------
+# The environment switch
+# ----------------------------------------------------------------------
+
+def test_reference_channel_env_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_REFERENCE_CHANNEL", raising=False)
+    assert not reference_channel_forced()
+    assert not Channel(RadioSpec(r1=1.0, r2=1.5)).use_reference
+    assert NetSimulator(spec=RadioSpec(r1=1.0, r2=1.5)).fast_path
+
+    monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "1")
+    assert reference_channel_forced()
+    assert Channel(RadioSpec(r1=1.0, r2=1.5)).use_reference
+    assert not NetSimulator(spec=RadioSpec(r1=1.0, r2=1.5)).fast_path
+
+    monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "0")
+    assert not reference_channel_forced()
