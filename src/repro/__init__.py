@@ -63,6 +63,7 @@ from .core import (
     History,
     ROUNDS_PER_INSTANCE,
     calculate_history,
+    calculate_history_reference,
     check_agreement,
     check_all,
     check_liveness,
@@ -128,6 +129,7 @@ __all__ = [
     "VIEmulation",
     "WorkloadSpec",
     "calculate_history",
+    "calculate_history_reference",
     "check_agreement",
     "check_all",
     "check_liveness",

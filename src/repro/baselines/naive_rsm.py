@@ -49,5 +49,9 @@ class NaiveRSMProcess(CHAProcess):
             tag=payload.tag,
             instance=payload.instance,
             ballot=payload.ballot,
-            history_entries=tuple(history.items()),
+            # Repacked pair-by-pair so the wire encoding is structure-
+            # canonical: chain-backed histories share entry tuples across
+            # outputs, and leaking that sharing onto the wire would make
+            # otherwise-identical traces pickle differently.
+            history_entries=tuple((k, v) for k, v in history.items()),
         )

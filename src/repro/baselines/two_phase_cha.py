@@ -35,8 +35,10 @@ class TwoPhaseChaProcess(Process):
     """CHAP minus veto-2.  Colours: red < orange < green (no yellow)."""
 
     def __init__(self, *, propose: Callable[[Instance], Value],
-                 cm_name: str = "C", tag: Any = "2pc-cha") -> None:
-        self.core = ChaCore(propose=propose, tag=tag)
+                 cm_name: str = "C", tag: Any = "2pc-cha",
+                 use_reference_history: bool | None = None) -> None:
+        self.core = ChaCore(propose=propose, tag=tag,
+                            use_reference_history=use_reference_history)
         self.cm_name = cm_name
 
     def contend(self, r: Round) -> str | None:

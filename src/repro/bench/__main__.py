@@ -33,6 +33,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="trials per path; best is reported "
                              "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="fan scenarios out over this many sweep-pool "
+                             "worker processes (default: serial). "
+                             "Throughput mode: measurements reflect a "
+                             "loaded machine, so gate and baseline runs "
+                             "should stay serial")
     parser.add_argument("--no-reference", action="store_true",
                         help="skip reference-channel timings (faster; "
                              "disables the speedup metric)")
@@ -68,10 +74,15 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"repro.bench: {len(scenarios)} scenario(s), "
           f"{args.repeats} repeat(s), reference="
-          f"{'off' if args.no_reference else 'on'}")
+          f"{'off' if args.no_reference else 'on'}"
+          + (f", {args.workers} workers" if args.workers > 1 else ""))
+    if args.workers > 1 and (args.compare is not None or args.update_baseline):
+        print("warning: --workers distorts timings under load; gate "
+              "comparisons and baseline updates should run serially",
+              file=sys.stderr)
     report = run_benchmarks(
         scenarios, repeats=args.repeats,
-        reference=not args.no_reference, log=print,
+        reference=not args.no_reference, workers=args.workers, log=print,
     )
     out = write_report(report, args.out)
     print(f"wrote {out}")

@@ -3,26 +3,37 @@
 Each scenario trial builds a fresh spec (fresh seeded components) and
 drives it through :func:`repro.experiment.runner.run`, with a timing
 proxy around :meth:`Channel.deliver` installed via the runner's
-``instrument`` hook so the report can break each round's wall time into
-the *channel* phase and the *protocol + engine* remainder.
+``instrument`` hook and the history fold timer armed, so the report can
+break each round's wall time into the *channel* phase, the *history*
+phase (``calculate-history`` folding) and the *protocol + engine*
+remainder.
 
 Reference timings re-run the same scenario with the channel pinned to
-its all-pairs reference path and the simulator's caches disabled — the
-same switch ``REPRO_REFERENCE_CHANNEL=1`` flips globally — giving the
-machine-independent ``speedup_vs_reference`` ratio the regression gate
-(:mod:`repro.bench.compare`) is keyed on.
+its all-pairs reference path, the simulator's caches disabled, and every
+protocol core pinned to the seed re-walking history fold — the same
+switches ``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1``
+flip globally — giving the machine-independent ``speedup_vs_reference``
+ratio the regression gate (:mod:`repro.bench.compare`) is keyed on.
+
+``run_benchmarks(..., workers=N)`` fans whole scenarios out over
+:func:`repro.experiment.sweep.pool_map` (the sweep subsystem's worker
+pool); each scenario is still timed inside its own dedicated process, so
+the deterministic fields of a parallel report match the serial one.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..core.history import HISTORY_TIMER
 from ..experiment.runner import run
-from .scenarios import ALL_SCENARIOS, BenchScenario
+from ..experiment.sweep import pool_map
+from .scenarios import ALL_SCENARIOS, BenchScenario, scenario_by_name
 
 #: BENCH_results.json schema version.
 SCHEMA = 1
@@ -75,6 +86,8 @@ def _time_once(scenario: BenchScenario, *,
                reference: bool) -> tuple[float, int, dict[str, float]]:
     """One trial: returns (wall_s, rounds, phase breakdown)."""
     spec = scenario.make_spec()
+    if reference:
+        spec = dataclasses.replace(spec, use_reference_history=True)
     timer_box: list[_ChannelTimer] = []
 
     def instrument(sim) -> None:
@@ -85,13 +98,16 @@ def _time_once(scenario: BenchScenario, *,
         sim.channel = timer
         timer_box.append(timer)
 
-    result = run(spec, instrument=instrument)
+    with HISTORY_TIMER:
+        result = run(spec, instrument=instrument)
     wall = result.timings["wall_s"]
     rounds = int(result.timings.get("rounds", 0))
     channel_s = timer_box[0].seconds if timer_box else 0.0
+    history_s = result.timings.get("history_s", 0.0)
     phases = {
         "channel_s": channel_s,
-        "protocol_and_engine_s": max(0.0, wall - channel_s),
+        "history_s": history_s,
+        "protocol_and_engine_s": max(0.0, wall - channel_s - history_s),
     }
     return wall, rounds, phases
 
@@ -129,17 +145,62 @@ def run_scenario(scenario: BenchScenario, *, repeats: int = 3,
     return result
 
 
+def _scenario_job(job: tuple[str, int, bool]) -> dict:
+    """Worker-pool unit: benchmark one registered scenario by name.
+
+    Scenarios carry closures, so the pool ships names and re-resolves
+    them in the worker (fork inherits the registry, including any test
+    monkeypatching).
+    """
+    name, repeats, reference = job
+    return asdict(run_scenario(scenario_by_name(name),
+                               repeats=repeats, reference=reference))
+
+
 def run_benchmarks(scenarios: Iterable[BenchScenario] = ALL_SCENARIOS, *,
                    repeats: int = 3, reference: bool = True,
+                   workers: int = 1,
                    log: Callable[[str], None] | None = None) -> dict:
-    """Run a scenario matrix and assemble the report dict."""
-    results = {}
-    for scenario in scenarios:
-        results[scenario.name] = asdict(run_scenario(
-            scenario, repeats=repeats, reference=reference, log=log))
+    """Run a scenario matrix and assemble the report dict.
+
+    ``workers > 1`` fans scenarios out over the sweep subsystem's worker
+    pool (one scenario per process at a time; requires every scenario to
+    be resolvable via :func:`~repro.bench.scenarios.scenario_by_name`).
+    This is a throughput mode: every measurement — wall times *and* the
+    speedup ratio — then reflects a machine loaded by the co-scheduled
+    scenarios, so gate comparisons and baseline updates should run
+    serially.
+    """
+    scenarios = list(scenarios)
+    if workers > 1:
+        for scenario in scenarios:
+            # Workers re-resolve by name; a caller-supplied scenario
+            # shadowing a registered name would silently measure the
+            # registered spec instead.
+            if scenario_by_name(scenario.name) is not scenario:
+                raise ValueError(
+                    f"parallel bench requires registered scenarios, but "
+                    f"{scenario.name!r} is not the registered scenario "
+                    "of that name"
+                )
+        say = log or (lambda msg: None)
+        say(f"  fanning {len(scenarios)} scenario(s) over "
+            f"{workers} workers ...")
+        rows = pool_map(
+            _scenario_job,
+            [(s.name, repeats, reference) for s in scenarios],
+            workers=workers,
+        )
+        results = {s.name: row for s, row in zip(scenarios, rows)}
+    else:
+        results = {}
+        for scenario in scenarios:
+            results[scenario.name] = asdict(run_scenario(
+                scenario, repeats=repeats, reference=reference, log=log))
     return {
         "schema": SCHEMA,
-        "config": {"repeats": repeats, "reference": reference},
+        "config": {"repeats": repeats, "reference": reference,
+                   "workers": workers},
         "results": results,
     }
 

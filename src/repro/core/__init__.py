@@ -9,13 +9,20 @@ from .cha import (
     PHASE_VETO2,
     ROUNDS_PER_INSTANCE,
     calculate_history,
+    calculate_history_reference,
 )
 from .checkpoint import (
     CheckpointCHAProcess,
     CheckpointChaCore,
     CheckpointOutput,
 )
-from .history import EMPTY_HISTORY, History
+from .history import (
+    EMPTY_HISTORY,
+    HISTORY_TIMER,
+    History,
+    HistoryChain,
+    reference_history_forced,
+)
 from .runner import ChaRun, cluster_positions, default_proposer, run_cha
 from .spec import (
     check_agreement,
@@ -35,14 +42,18 @@ __all__ = [
     "CheckpointChaCore",
     "CheckpointOutput",
     "EMPTY_HISTORY",
+    "HISTORY_TIMER",
     "History",
+    "HistoryChain",
     "PHASE_BALLOT",
     "PHASE_VETO1",
     "PHASE_VETO2",
     "ROUNDS_PER_INSTANCE",
     "VetoPayload",
     "calculate_history",
+    "calculate_history_reference",
     "canonical_key",
+    "reference_history_forced",
     "check_agreement",
     "check_all",
     "check_liveness",

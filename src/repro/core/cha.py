@@ -28,6 +28,7 @@ ballot (and later)    red        ⊥, and no ballot is stored
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterable, Mapping
 
 from ..errors import ProtocolError
@@ -35,7 +36,13 @@ from ..net.messages import Message
 from ..net.node import Process
 from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Round, Value
 from .ballot import Ballot, BallotPayload, VetoPayload
-from .history import History
+from .history import (
+    HISTORY_TIMER,
+    History,
+    HistoryChain,
+    ROOT_CHAIN,
+    reference_history_forced,
+)
 
 #: Rounds per CHA instance in the canonical schedule (Theorem 14's constant).
 ROUNDS_PER_INSTANCE = 3
@@ -45,14 +52,19 @@ PHASE_VETO1 = 1
 PHASE_VETO2 = 2
 
 
-def calculate_history(instance: Instance, prev: Instance,
-                      ballots: Mapping[Instance, Ballot]) -> History:
+def calculate_history_reference(instance: Instance, prev: Instance,
+                                ballots: Mapping[Instance, Ballot]) -> History:
     """The ``calculate-history`` function of Figure 1 (lines 46-54).
 
     Walks the ``prev-instance`` pointers backwards from ``prev``, adopting
     the stored ballot value at every instance on the chain and bottom
     everywhere else.  ``instance`` is the current (not necessarily good)
     instance and fixes the domain ``1..instance`` of the result.
+
+    This is the seed implementation, kept verbatim as the executable
+    specification of the incremental fold :class:`ChaCore` uses by
+    default (see :meth:`ChaCore._fold_chain`); the property suite in
+    ``tests/core/test_history_properties.py`` pins the two together.
     """
     entries: dict[Instance, Value] = {}
     k = instance
@@ -70,6 +82,11 @@ def calculate_history(instance: Instance, prev: Instance,
     return History(instance, entries)
 
 
+#: Public alias: the stateless fold *is* the reference implementation —
+#: the incremental engine needs per-core state and lives in ChaCore.
+calculate_history = calculate_history_reference
+
+
 class ChaCore:
     """Protocol state machine for one CHAP participant.
 
@@ -80,14 +97,23 @@ class ChaCore:
     """
 
     def __init__(self, *, propose: Callable[[Instance], Value],
-                 tag: Any = "cha") -> None:
+                 tag: Any = "cha",
+                 use_reference_history: bool | None = None) -> None:
         self._propose = propose
         self.tag = tag
+        if use_reference_history is None:
+            use_reference_history = reference_history_forced()
+        #: Pin this core to the seed re-walking fold (the incremental
+        #: chain engine is the default).
+        self.use_reference_history = use_reference_history
         self.k: Instance = NO_INSTANCE
         self.prev_instance: Instance = NO_INSTANCE
         self.status: dict[Instance, Color] = {}
         self.ballots: dict[Instance, Ballot] = {}
         self.proposals_made: dict[Instance, Value] = {}
+        #: Completed folds by chain-head instance: extending the chain by
+        #: one good instance reuses the whole fold below it.
+        self._fold_cache: dict[Instance, HistoryChain] = {}
         #: Chronological outputs: (instance, History or BOTTOM).
         self.outputs: list[tuple[Instance, History | None]] = []
 
@@ -166,7 +192,66 @@ class ChaCore:
         Well-defined at any time; emulation replicas use it to derive the
         virtual node's state even in instances whose output is bottom.
         """
-        return calculate_history(self.k, self.prev_instance, self.ballots)
+        timer = HISTORY_TIMER
+        if not timer.enabled:
+            return self._compute_history()
+        t0 = time.perf_counter()
+        try:
+            return self._compute_history()
+        finally:
+            timer.seconds += time.perf_counter() - t0
+            timer.calls += 1
+
+    def _compute_history(self) -> History:
+        if self.use_reference_history:
+            return calculate_history_reference(
+                self.k, self.prev_instance, self.ballots)
+        return History._from_chain(
+            self.k, self._fold_chain(self.k, self.prev_instance))
+
+    def _fold_chain(self, instance: Instance, prev: Instance, *,
+                    floor: Instance = 0) -> HistoryChain:
+        """Incremental ``calculate-history``: extend a cached fold.
+
+        Walks the ``prev-instance`` pointers downward only until it meets
+        an already-folded chain head (usually the immediately preceding
+        good instance), then replays the unseen links on top of the
+        shared :class:`~repro.core.history.HistoryChain`.  Matches the
+        reference fold exactly, including its quirks: a pointer above
+        ``instance`` never matches, an upward or non-positive pointer
+        ends the chain, and a pointed-to instance without a stored ballot
+        raises (:meth:`_missing_ballot`).  Entries at or below ``floor``
+        are excluded (checkpoint-CHA's garbage-collection anchor).
+        """
+        cache = self._fold_cache
+        ballots = self.ballots
+        stack: list[tuple[Instance, Value]] = []
+        base: HistoryChain | None = None
+        limit = instance
+        p = prev
+        while floor < p <= limit:
+            base = cache.get(p)
+            if base is not None:
+                break
+            ballot = ballots.get(p)
+            if ballot is None:
+                self._missing_ballot(p)
+            stack.append((p, ballot.value))
+            limit = p - 1  # the reference walk only moves downward
+            p = ballot.prev_instance
+        if base is None:
+            base = ROOT_CHAIN
+        for k, v in reversed(stack):
+            base = base.child(k, v)
+            cache[k] = base
+        return base
+
+    def _missing_ballot(self, k: Instance) -> None:
+        """Chain reached an instance with no stored ballot (line 49)."""
+        raise ProtocolError(
+            f"calculate-history reached instance {k} on the chain "
+            "but no ballot is stored for it"
+        )
 
     def color_of(self, k: Instance) -> Color:
         """Colour this node assigns instance ``k`` (green if untouched)."""
@@ -202,6 +287,8 @@ class ChaCore:
         self.prev_instance = snapshot["prev_instance"]
         self.status = dict(snapshot["status"])
         self.ballots = dict(snapshot["ballots"])
+        # The adopted ballots may disagree with locally cached folds.
+        self._fold_cache = {}
 
 
 class CHAProcess(Process):
@@ -216,8 +303,10 @@ class CHAProcess(Process):
     def __init__(self, *, propose: Callable[[Instance], Value],
                  cm_name: str = "C", tag: Any = "cha",
                  start_round: Round = 0,
-                 on_output: Callable[[Instance, History | None], None] | None = None) -> None:
-        self.core = ChaCore(propose=propose, tag=tag)
+                 on_output: Callable[[Instance, History | None], None] | None = None,
+                 use_reference_history: bool | None = None) -> None:
+        self.core = ChaCore(propose=propose, tag=tag,
+                            use_reference_history=use_reference_history)
         self.cm_name = cm_name
         self.start_round = start_round
         self._on_output = on_output

@@ -53,8 +53,10 @@ class CheckpointChaCore(ChaCore):
 
     def __init__(self, *, propose: Callable[[Instance], Value],
                  reducer: Reducer, initial_state: Any,
-                 tag: Any = "cha") -> None:
-        super().__init__(propose=propose, tag=tag)
+                 tag: Any = "cha",
+                 use_reference_history: bool | None = None) -> None:
+        super().__init__(propose=propose, tag=tag,
+                         use_reference_history=use_reference_history)
         self._reducer = reducer
         self.checkpoint_instance: Instance = NO_INSTANCE
         self.checkpoint_state: Any = initial_state
@@ -78,6 +80,8 @@ class CheckpointChaCore(ChaCore):
         self.status = {
             k: c for k, c in self.status.items() if k >= green
         }
+        # Cached folds were anchored at the old checkpoint floor.
+        self._fold_cache.clear()
 
     def on_veto2_reception(self, veto_seen: bool, collision: bool):
         """End of instance: green instances fold-and-GC and output the
@@ -140,8 +144,9 @@ class CheckpointChaCore(ChaCore):
         self.checkpoint_state = state
         self.status = {}
         self.ballots = {}
+        self._fold_cache = {}
 
-    def current_history(self) -> History:
+    def _compute_history(self) -> History:
         """Chain reconstruction that stops at the checkpoint anchor.
 
         Below the checkpoint the ballots are gone; the chain, by the GC
@@ -149,16 +154,24 @@ class CheckpointChaCore(ChaCore):
         the retained suffix and reports bottom below the checkpoint (the
         folded prefix lives in ``checkpoint_state``).
         """
-        entries: dict[Instance, Value] = {}
-        k = self.k
-        prev = self.prev_instance
-        while k > self.checkpoint_instance:
-            if k == prev:
-                ballot = self.ballots[k]
-                entries[k] = ballot.value
-                prev = ballot.prev_instance
-            k -= 1
-        return History(self.k, entries)
+        if self.use_reference_history:
+            entries: dict[Instance, Value] = {}
+            k = self.k
+            prev = self.prev_instance
+            while k > self.checkpoint_instance:
+                if k == prev:
+                    ballot = self.ballots[k]
+                    entries[k] = ballot.value
+                    prev = ballot.prev_instance
+                k -= 1
+            return History(self.k, entries)
+        return History._from_chain(self.k, self._fold_chain(
+            self.k, self.prev_instance, floor=self.checkpoint_instance))
+
+    def _missing_ballot(self, k: Instance) -> None:
+        # The seed checkpoint walk indexes ballots directly, so a broken
+        # chain surfaces as a KeyError rather than a ProtocolError.
+        raise KeyError(k)
 
 
 class CheckpointCHAProcess(CHAProcess):
@@ -168,12 +181,15 @@ class CheckpointCHAProcess(CHAProcess):
                  reducer: Reducer, initial_state: Any,
                  cm_name: str = "C", tag: Any = "cha",
                  start_round: int = 0,
-                 on_output: Callable[[Instance, History | None], None] | None = None) -> None:
+                 on_output: Callable[[Instance, History | None], None] | None = None,
+                 use_reference_history: bool | None = None) -> None:
         super().__init__(propose=propose, cm_name=cm_name, tag=tag,
-                         start_round=start_round, on_output=on_output)
+                         start_round=start_round, on_output=on_output,
+                         use_reference_history=use_reference_history)
         self.core = CheckpointChaCore(
             propose=propose, reducer=reducer,
             initial_state=initial_state, tag=tag,
+            use_reference_history=use_reference_history,
         )
 
     @property

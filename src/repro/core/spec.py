@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 
 from ..errors import SpecViolation
 from ..types import BOTTOM, Instance, NodeId, Value
-from .history import History
+from .history import History, reference_history_forced
 
 #: The per-node output sequence type: (instance, History or BOTTOM) pairs.
 OutputLog = Sequence[tuple[Instance, History | None]]
@@ -51,7 +51,8 @@ def check_validity(outputs: Mapping[NodeId, OutputLog],
 
 
 def check_agreement(outputs: Mapping[NodeId, OutputLog], *,
-                    exhaustive: bool = False) -> None:
+                    exhaustive: bool = False,
+                    use_reference: bool | None = None) -> None:
     """Raise :class:`SpecViolation` on any common-prefix disagreement.
 
     The default check compares every history against a maximal-instance
@@ -60,7 +61,16 @@ def check_agreement(outputs: Mapping[NodeId, OutputLog], *,
     history is compared on *its own* full domain against the witness.
     ``exhaustive=True`` performs the O(m²) pairwise comparison (useful in
     unit tests of the checker itself).
+
+    ``use_reference`` (default: the ``REPRO_REFERENCE_HISTORY``
+    environment switch) pins the agreement relation to the seed
+    prefix-rebuild derivation instead of the chain-identity short
+    circuit — the two are pinned together by the differential suite.
     """
+    if use_reference is None:
+        use_reference = reference_history_forced()
+    agrees = (History.agrees_with_reference if use_reference
+              else History.agrees_with)
     histories: list[tuple[NodeId, Instance, History]] = []
     for node, log in outputs.items():
         for k, out in log:
@@ -92,13 +102,13 @@ def check_agreement(outputs: Mapping[NodeId, OutputLog], *,
     if exhaustive:
         for i in range(len(histories)):
             for j in range(i + 1, len(histories)):
-                if not histories[i][2].agrees_with(histories[j][2]):
+                if not agrees(histories[i][2], histories[j][2]):
                     _fail(histories[i], histories[j])
         return
 
     witness = max(histories, key=lambda item: item[1])
     for item in histories:
-        if not item[2].agrees_with(witness[2]):
+        if not agrees(item[2], witness[2]):
             _fail(item, witness)
 
 

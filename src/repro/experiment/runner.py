@@ -29,6 +29,7 @@ from ..baselines.two_phase_cha import TWO_PHASE_ROUNDS, TwoPhaseChaProcess
 from ..contention import LeaderElectionCM
 from ..core.cha import CHAProcess, ROUNDS_PER_INSTANCE
 from ..core.checkpoint import CheckpointCHAProcess
+from ..core.history import HISTORY_TIMER
 from ..core.runner import ChaRun, cluster_positions, default_proposer
 from ..core.spec import check_agreement, check_liveness, check_validity
 from ..detectors import EventuallyAccurateDetector
@@ -183,7 +184,8 @@ def _inv_validity(ctx: _RunContext) -> None:
 
 
 def _inv_agreement(ctx: _RunContext) -> None:
-    check_agreement(ctx.cha_run.outputs)
+    check_agreement(ctx.cha_run.outputs,
+                    use_reference=ctx.spec.use_reference_history)
 
 
 def _inv_liveness(ctx: _RunContext) -> None:
@@ -348,6 +350,7 @@ def run(spec: ExperimentSpec, *,
 
         spec = apply_faults(spec)
     protocol = spec.protocol
+    history_t0 = HISTORY_TIMER.seconds if HISTORY_TIMER.enabled else None
     started = time.perf_counter()
     if isinstance(protocol, ThreePhaseCommit):
         if instrument is not None:
@@ -362,6 +365,11 @@ def run(spec: ExperimentSpec, *,
         result = _run_cluster(spec, instrument)
     wall = time.perf_counter() - started
     result.timings["wall_s"] = wall
+    if history_t0 is not None:
+        # The history-phase bucket: wall time spent folding/deriving
+        # histories, measured only when the caller armed HISTORY_TIMER
+        # (the bench runner does) so the hot path pays nothing otherwise.
+        result.timings["history_s"] = HISTORY_TIMER.seconds - history_t0
     if result.simulator is not None:
         rounds = float(result.simulator.current_round)
         result.timings["rounds"] = rounds
@@ -392,11 +400,19 @@ def _run_cluster(spec: ExperimentSpec,
     positions = cluster_positions(world.n, radius=radius)
     proposer_factory = getattr(protocol, "proposer_factory", None) or default_proposer
 
+    reference_history = spec.use_reference_history
     processes: dict[NodeId, Any] = {}
     for node_id, position in enumerate(positions):
         if isinstance(protocol, CHA):
-            make = protocol.process_factory or CHAProcess
-            proc = make(propose=proposer_factory(node_id), cm_name="C")
+            if protocol.process_factory is not None:
+                # Custom factories keep their seed signature; the spec
+                # switch only drives the built-in process classes.
+                proc = protocol.process_factory(
+                    propose=proposer_factory(node_id), cm_name="C")
+            else:
+                proc = CHAProcess(propose=proposer_factory(node_id),
+                                  cm_name="C",
+                                  use_reference_history=reference_history)
             rpi = ROUNDS_PER_INSTANCE
         elif isinstance(protocol, CheckpointCHA):
             proc = CheckpointCHAProcess(
@@ -404,13 +420,17 @@ def _run_cluster(spec: ExperimentSpec,
                 reducer=protocol.reducer,
                 initial_state=protocol.initial_state,
                 cm_name="C",
+                use_reference_history=reference_history,
             )
             rpi = ROUNDS_PER_INSTANCE
         elif isinstance(protocol, NaiveRSM):
-            proc = NaiveRSMProcess(propose=proposer_factory(node_id), cm_name="C")
+            proc = NaiveRSMProcess(propose=proposer_factory(node_id),
+                                   cm_name="C",
+                                   use_reference_history=reference_history)
             rpi = ROUNDS_PER_INSTANCE
         elif isinstance(protocol, TwoPhaseCHA):
-            proc = TwoPhaseChaProcess(propose=proposer_factory(node_id))
+            proc = TwoPhaseChaProcess(propose=proposer_factory(node_id),
+                                      use_reference_history=reference_history)
             rpi = TWO_PHASE_ROUNDS
         elif isinstance(protocol, MajorityRSM):
             proc = MajorityRSMProcess(
@@ -467,6 +487,7 @@ def _run_emulation(spec: ExperimentSpec,
         cm_stable_round=world_spec.cm_stable_round,
         min_schedule_length=world_spec.min_schedule_length,
         schedule=world_spec.schedule,
+        use_reference_history=spec.use_reference_history,
     )
     world.sim.record_trace = spec.keep_trace
     wire = WireStatsObserver()

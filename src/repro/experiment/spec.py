@@ -236,6 +236,12 @@ class ExperimentSpec:
     #: Retain the full :class:`~repro.net.trace.Trace`?  Sweeps switch
     #: this off: every registry metric is computed online via observers.
     keep_trace: bool = True
+    #: Pin every protocol core (and the agreement checker) of this run to
+    #: the seed re-walking history fold instead of the incremental
+    #: :class:`~repro.core.history.HistoryChain` engine.  ``None`` defers
+    #: to the ``REPRO_REFERENCE_HISTORY`` environment switch at core
+    #: construction time, mirroring ``REPRO_REFERENCE_CHANNEL``.
+    use_reference_history: bool | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent combinations."""

@@ -73,6 +73,27 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
     ]
 
 
+def pool_map(fn, jobs: Sequence[Any], *, workers: int) -> list[Any]:
+    """Map a picklable function over jobs on the sweep worker pool.
+
+    The shared fan-out plumbing behind :func:`sweep` and
+    :func:`repro.bench.run_benchmarks`: ``workers == 1`` runs serially
+    in-process; otherwise the jobs ship to a ``multiprocessing`` pool
+    (fork where available) with ``chunksize=1`` so long jobs interleave.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
+    jobs = list(jobs)
+    if workers == 1 or not jobs:
+        return [fn(job) for job in jobs]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(min(workers, len(jobs))) as pool:
+        return pool.map(fn, jobs, chunksize=1)
+
+
 def _run_point(job: tuple[ExperimentSpec, dict[str, Any]]) -> SweepPoint:
     from .runner import run
 
@@ -97,9 +118,4 @@ def sweep(spec: ExperimentSpec, grid: Mapping[str, Sequence[Any]], *,
         # Private copy per point, mirroring what pickling gives workers.
         return [_run_point((copy.deepcopy(base), overrides))
                 for base, overrides in jobs]
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        ctx = multiprocessing.get_context()
-    with ctx.Pool(min(workers, len(jobs) or 1)) as pool:
-        return pool.map(_run_point, jobs, chunksize=1)
+    return pool_map(_run_point, jobs, workers=workers)

@@ -50,12 +50,14 @@ class VIDevice(Process):
                  region_radius: float,
                  locate: Callable[[], Point],
                  client: ClientProgram | None = None,
-                 initially_active: bool = False) -> None:
+                 initially_active: bool = False,
+                 use_reference_history: bool | None = None) -> None:
         self.sites = {site.vn_id: site for site in sites}
         self.programs = programs
         self.schedule = schedule
         self.clock = clock
         self.region_radius = region_radius
+        self.use_reference_history = use_reference_history
         self._locate = locate
         self.client = ClientRuntime(client) if client is not None else None
         self.replica: ReplicaRuntime | None = None
@@ -102,6 +104,7 @@ class VIDevice(Process):
                 and self.replica is None:
             self.replica = ReplicaRuntime(
                 target, self.programs[target.vn_id], self.schedule,
+                use_reference_history=self.use_reference_history,
             )
             self.events.append((0, f"deployed:{target.vn_id}"))
 
@@ -204,6 +207,7 @@ class VIDevice(Process):
                 self._pending_replica = ReplicaRuntime(
                     self.sites[vn], self.programs[vn], self.schedule,
                     snapshot=acks[0].snapshot,
+                    use_reference_history=self.use_reference_history,
                 )
                 self.events.append((vr, f"acked:{vn}"))
             elif collision:
@@ -228,6 +232,7 @@ class VIDevice(Process):
                 self._pending_replica = ReplicaRuntime(
                     self.sites[vn], self.programs[vn], self.schedule,
                     reset_at=vr + 1,
+                    use_reference_history=self.use_reference_history,
                 )
                 self.events.append((vr, f"reset:{vn}"))
             return

@@ -48,7 +48,8 @@ class ReplicaRuntime:
 
     def __init__(self, site: VNSite, program: VNProgram, schedule: Schedule,
                  *, snapshot: dict | None = None,
-                 reset_at: Instance | None = None) -> None:
+                 reset_at: Instance | None = None,
+                 use_reference_history: bool | None = None) -> None:
         self.site = site
         self.program = program
         self.schedule = schedule
@@ -58,6 +59,7 @@ class ReplicaRuntime:
             reducer=self._reduce,
             initial_state=program.init_state(),
             tag=self.tag,
+            use_reference_history=use_reference_history,
         )
         if snapshot is not None and reset_at is not None:
             raise ValueError("pass either a snapshot or a reset anchor, not both")

@@ -60,13 +60,15 @@ class VIWorld:
                  crashes: CrashSchedule | None = None,
                  cm_stable_round: int = 0,
                  min_schedule_length: int = 1,
-                 schedule: Schedule | None = None) -> None:
+                 schedule: Schedule | None = None,
+                 use_reference_history: bool | None = None) -> None:
         if set(programs) != {site.vn_id for site in sites}:
             raise ConfigurationError(
                 "programs must be keyed exactly by the site vn_ids"
             )
         self.sites = list(sites)
         self.programs = dict(programs)
+        self.use_reference_history = use_reference_history
         self.region_radius = r1 / 4.0
         if schedule is None:
             schedule = build_schedule(sites, r1=r1, r2=r2,
@@ -130,6 +132,7 @@ class VIWorld:
             locate=locate,
             client=client,
             initially_active=initially_active,
+            use_reference_history=self.use_reference_history,
         )
         device_holder.append(device)
         node_id = self.sim.add_node(device, mobility, start_round=start_round)

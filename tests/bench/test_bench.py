@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro import CHA, ClusterWorld, ExperimentSpec, TwoPhaseCHA, WorkloadSpec
 from repro.bench import (
     ALL_SCENARIOS,
     QUICK_SCENARIOS,
@@ -39,11 +39,18 @@ def test_matrix_covers_every_family_and_node_range():
     assert {"cha", "checkpoint-cha", "two-phase-cha", "naive-rsm",
             "majority-rsm", "vi"} <= families
     sizes = sorted(s.n for s in ALL_SCENARIOS)
-    assert sizes[0] >= 50 and sizes[-1] >= 400
+    assert sizes[0] >= 50 and sizes[-1] >= 1000
     assert QUICK_SCENARIOS and set(QUICK_SCENARIOS) <= set(ALL_SCENARIOS)
     # The acceptance-criteria headliner exists, smokes, and gates.
     e8 = scenario_by_name("e8-majority-200")
     assert e8.n == 200 and e8.quick and e8.gated
+    # The protocol-bound cha scenarios gate on the history engine's
+    # speedup; the ROADMAP scale-out world exists (informational).
+    for name in ("e8-cha-200", "cha-400"):
+        assert scenario_by_name(name).gated, name
+    spread = scenario_by_name("cha-1k-spread")
+    assert spread.n == 1000
+    assert spread.make_spec().world.cluster_radius > spread.make_spec().world.r2
     # At least one quick scenario is gated, so CI regression-gates on
     # every push.
     assert any(s.gated for s in QUICK_SCENARIOS)
@@ -61,16 +68,73 @@ def test_run_scenario_measures_both_paths():
     assert result.reference_wall_s is not None
     assert result.speedup_vs_reference == pytest.approx(
         result.reference_wall_s / result.wall_s)
-    assert set(result.phases) == {"channel_s", "protocol_and_engine_s"}
+    assert set(result.phases) == {"channel_s", "history_s",
+                                  "protocol_and_engine_s"}
     assert 0 <= result.phases["channel_s"] <= result.wall_s
-    assert result.phases["channel_s"] + result.phases["protocol_and_engine_s"] \
-        == pytest.approx(result.wall_s, abs=1e-6)
+    assert 0 <= result.phases["history_s"] <= result.wall_s
+    assert sum(result.phases.values()) == pytest.approx(result.wall_s,
+                                                        abs=1e-6)
 
 
 def test_run_scenario_without_reference():
     result = run_scenario(TINY, repeats=1, reference=False)
     assert result.reference_wall_s is None
     assert result.speedup_vs_reference is None
+
+
+TINY2 = BenchScenario(
+    name="tiny-two-phase", family="two-phase-cha", n=4,
+    description="second unit-test scenario (parallel fan-out)",
+    make_spec=lambda: ExperimentSpec(
+        protocol=TwoPhaseCHA(), world=ClusterWorld(n=4),
+        workload=WorkloadSpec(instances=5), keep_trace=False,
+    ),
+)
+
+
+def test_parallel_bench_agrees_with_serial(monkeypatch):
+    """Fanning scenarios over the sweep worker pool must reproduce the
+    serial report in everything but the wall-clock measurements."""
+    monkeypatch.setattr("repro.bench.scenarios.ALL_SCENARIOS", (TINY, TINY2))
+    serial = run_benchmarks([TINY, TINY2], repeats=1, reference=True)
+    parallel = run_benchmarks([TINY, TINY2], repeats=1, reference=True,
+                              workers=2)
+    assert serial["config"]["workers"] == 1
+    assert parallel["config"]["workers"] == 2
+    assert set(serial["results"]) == set(parallel["results"])
+    timing_fields = {"wall_s", "rounds_per_sec", "reference_wall_s",
+                     "reference_rounds_per_sec", "speedup_vs_reference",
+                     "phases"}
+    for name in serial["results"]:
+        s_row = {k: v for k, v in serial["results"][name].items()
+                 if k not in timing_fields}
+        p_row = {k: v for k, v in parallel["results"][name].items()
+                 if k not in timing_fields}
+        assert s_row == p_row
+        # The measurements exist on both sides even if they differ.
+        for field in timing_fields:
+            assert parallel["results"][name][field] is not None
+
+
+def test_parallel_bench_requires_registered_scenarios():
+    unregistered = BenchScenario(
+        name="not-in-registry", family="cha", n=3, description="",
+        make_spec=lambda: None,
+    )
+    with pytest.raises(KeyError, match="unknown bench scenario"):
+        run_benchmarks([unregistered], repeats=1, reference=False,
+                       workers=2)
+
+
+def test_parallel_bench_rejects_shadowed_scenario_names():
+    # Same name as a registered scenario, different spec: measuring the
+    # registered one silently would report the wrong numbers.
+    shadow = BenchScenario(
+        name="cha-50", family="cha", n=3, description="impostor",
+        make_spec=lambda: None,
+    )
+    with pytest.raises(ValueError, match="registered scenario"):
+        run_benchmarks([shadow], repeats=1, reference=False, workers=2)
 
 
 def test_report_roundtrip(tmp_path):

@@ -1,0 +1,188 @@
+"""Whole-run differential verification of the history engines.
+
+For every CHA-family protocol (plain, checkpoint, the two-phase
+ablation, the naive full-history RSM) and the VI emulation, the run is
+executed in every combination of
+
+* **history engine**: incremental chain fold vs the seed re-walking
+  reference (``use_reference_history``), and
+* **simulation engine**: fast path + indexed channel vs uncached engine
+  + all-pairs reference channel (PR 3's switches),
+
+and the pickled observables — the full wire trace, every node's output
+log (histories pickle canonically, so chain- and dict-backed forms are
+byte-identical), proposals, metrics and invariant verdicts — must be
+byte-for-byte equal to the all-reference run.  This is the regression
+gate for any future change to the fold, the chain interning, or the
+spec checkers' short-circuits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import CHA, ClusterWorld, ExperimentSpec, MetricsSpec, WorkloadSpec
+from repro.experiment import (
+    CheckpointCHA,
+    DeployedWorld,
+    DeviceSpec,
+    EnvironmentSpec,
+    NaiveRSM,
+    TwoPhaseCHA,
+    VIEmulation,
+)
+from repro.experiment.runner import run
+from repro.geometry import Point
+from repro.net import (
+    Crash,
+    CrashPoint,
+    CrashSchedule,
+    RandomLossAdversary,
+    WindowAdversary,
+)
+from repro.vi.program import CounterProgram
+from repro.vi.schedule import VNSite
+
+pytestmark = pytest.mark.fast
+
+#: (history_reference, engine_reference) — the all-reference corner is
+#: the baseline the other three must match byte-for-byte.
+MODES = [(True, True), (True, False), (False, True), (False, False)]
+
+
+def _count_reducer(state, k, value):
+    return (state or 0) + 1
+
+
+def _cluster_env():
+    return EnvironmentSpec(
+        adversary=WindowAdversary(
+            RandomLossAdversary(p_drop=0.25, p_false=0.2, seed=13), until=30),
+        crashes=CrashSchedule([Crash(4, 20, CrashPoint.AFTER_SEND)]),
+    )
+
+
+def _cha_spec():
+    return ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=6, rcf=24),
+        environment=_cluster_env(),
+        workload=WorkloadSpec(instances=14),
+        metrics=MetricsSpec(metrics=("decided_instances", "bottom_rate"),
+                            invariants=("validity", "agreement")),
+    )
+
+
+def _checkpoint_spec():
+    return ExperimentSpec(
+        protocol=CheckpointCHA(reducer=_count_reducer, initial_state=0),
+        world=ClusterWorld(n=5, rcf=18),
+        environment=_cluster_env(),
+        workload=WorkloadSpec(instances=14),
+        metrics=MetricsSpec(metrics=("decided_instances",),
+                            invariants=("lemma5", "prev_pointer")),
+    )
+
+
+def _two_phase_spec():
+    return ExperimentSpec(
+        protocol=TwoPhaseCHA(),
+        world=ClusterWorld(n=5, rcf=12),
+        environment=_cluster_env(),
+        workload=WorkloadSpec(instances=14),
+        metrics=MetricsSpec(metrics=("decided_instances",),
+                            invariants=("validity", "agreement")),
+    )
+
+
+def _naive_rsm_spec():
+    # The naive RSM puts the *entire computed history* in every ballot,
+    # so here the history engines differ on the wire, not just in
+    # outputs: any fold divergence corrupts the trace itself.
+    return ExperimentSpec(
+        protocol=NaiveRSM(),
+        world=ClusterWorld(n=5, rcf=12),
+        environment=_cluster_env(),
+        workload=WorkloadSpec(instances=12),
+        metrics=MetricsSpec(metrics=("max_message_size",),
+                            invariants=("validity", "agreement")),
+    )
+
+
+def _vi_spec():
+    sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(0.5, 0.0)))
+    devices = tuple(
+        DeviceSpec(mobility=Point(site.location.x + dx, 0.1 * (j + 1)))
+        for site in sites
+        for j, dx in enumerate((-0.1, 0.1))
+    )
+    return ExperimentSpec(
+        protocol=VIEmulation(programs={0: CounterProgram(),
+                                       1: CounterProgram()}),
+        world=DeployedWorld(sites=sites, devices=devices),
+        environment=EnvironmentSpec(
+            crashes=CrashSchedule([Crash(1, 40, CrashPoint.AFTER_SEND)]),
+        ),
+        workload=WorkloadSpec(virtual_rounds=8),
+        metrics=MetricsSpec(metrics=("availability", "emulation_gaps"),
+                            invariants=("replica_consistency",)),
+    )
+
+
+SPECS = {
+    "cha": _cha_spec,
+    "checkpoint-cha": _checkpoint_spec,
+    "two-phase-cha": _two_phase_spec,
+    "naive-rsm": _naive_rsm_spec,
+    "vi": _vi_spec,
+}
+
+
+def _observables(spec_factory, *, history_ref: bool,
+                 engine_ref: bool) -> bytes:
+    spec = dataclasses.replace(spec_factory(),
+                               use_reference_history=history_ref)
+
+    def instrument(sim):
+        sim.fast_path = not engine_ref
+        sim.channel.use_reference = engine_ref
+
+    result = run(spec, instrument=instrument)
+    return pickle.dumps({
+        "trace": result.trace,
+        "outputs": result.outputs,
+        "proposals": result.proposals,
+        "metrics": result.metrics,
+        "invariants": result.invariants,
+    })
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_history_switch_combinations_byte_identical(name):
+    spec_factory = SPECS[name]
+    baseline = _observables(spec_factory, history_ref=True, engine_ref=True)
+    for history_ref, engine_ref in MODES[1:]:
+        got = _observables(spec_factory, history_ref=history_ref,
+                           engine_ref=engine_ref)
+        assert got == baseline, (name, history_ref, engine_ref)
+
+
+def test_spec_switch_reaches_every_core():
+    """use_reference_history= on the spec pins each constructed core."""
+    for factory, attr in ((_cha_spec, "core"), (_checkpoint_spec, "core"),
+                          (_two_phase_spec, "core")):
+        spec = dataclasses.replace(factory(), use_reference_history=True,
+                                   keep_trace=False)
+        result = run(spec)
+        assert all(proc.core.use_reference_history
+                   for proc in result.processes.values())
+    vi = dataclasses.replace(_vi_spec(), use_reference_history=True,
+                             keep_trace=False)
+    result = run(vi)
+    replicas = [dev.replica for dev in result.processes.values()
+                if dev.replica is not None]
+    assert replicas
+    assert all(rep.core.use_reference_history for rep in replicas)

@@ -105,6 +105,20 @@ def _majority_spec():
     )
 
 
+def _spread_spec():
+    """A spread-out ring: the small-scale golden twin of the bench
+    matrix's ``cha-1k-spread`` scenario.  Adjacent nodes sit within R1
+    but second neighbours are beyond R2, so the run exercises the
+    multi-cell grid index and partial-connectivity CHA dynamics (red
+    and orange instances away from the contention manager's leader)
+    rather than the single-region happy path."""
+    return ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=16, cluster_radius=2.2),
+        workload=WorkloadSpec(instances=6),
+    )
+
+
 def _vi_spec():
     sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(0.5, 0.0)))
     devices = tuple(
@@ -122,6 +136,7 @@ def _vi_spec():
 
 SCENARIOS = {
     "cha": _cha_spec,
+    "cha-spread": _spread_spec,
     "checkpoint-cha": _checkpoint_spec,
     "two-phase-cha": _two_phase_spec,
     "naive-rsm": _naive_rsm_spec,
@@ -151,10 +166,12 @@ def test_golden_trace(name, request):
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_golden_trace_reference_path(name, request, monkeypatch):
-    """The goldens hold on the reference path too — the committed files
-    pin *model* behaviour, not fast-path quirks."""
+    """The goldens hold on the full reference stack too (all-pairs
+    channel *and* re-walking history fold) — the committed files pin
+    *model* behaviour, not fast-path quirks."""
     if request.config.getoption("--update-golden"):
         pytest.skip("goldens being rewritten")
     monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "1")
+    monkeypatch.setenv("REPRO_REFERENCE_HISTORY", "1")
     dump = canonical_dump(run(SCENARIOS[name]()).trace)
     assert dump == (GOLDEN_DIR / f"{name}.golden").read_text()
