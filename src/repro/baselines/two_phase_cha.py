@@ -21,9 +21,9 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..core.ballot import BallotPayload, VetoPayload
-from ..core.cha import ChaCore
+from ..core.cha import ChaCore, _NO_PAYLOADS
 from ..core.history import History
-from ..net.messages import Message
+from ..net.messages import MIXED_TAGS, Message
 from ..net.node import Process
 from ..types import BOTTOM, Color, Instance, Round, Value
 
@@ -52,12 +52,34 @@ class TwoPhaseChaProcess(Process):
             return VetoPayload(self.core.tag, self.core.k, 1)
         return None
 
+    def deliver_batch(self, r: Round, messages: tuple[Message, ...],
+                      collision: bool, batch) -> None:
+        """Batched delivery: tag filtering amortised through the round
+        batch exactly as in :meth:`repro.core.cha.CHAProcess.deliver_batch`;
+        both entrypoints share :meth:`_deliver_decoded`."""
+        if not messages:
+            mine = _NO_PAYLOADS
+        else:
+            tag = self.core.tag
+            uniform = batch.uniform_tag()
+            if uniform == tag:
+                mine = [m.payload for m in messages]
+            elif uniform is not MIXED_TAGS:
+                mine = _NO_PAYLOADS
+            else:
+                mine = [m.payload for m in messages
+                        if getattr(m.payload, "tag", None) == tag]
+        self._deliver_decoded(r, mine, collision)
+
     def deliver(self, r: Round, messages: tuple[Message, ...],
                 collision: bool) -> None:
         mine = [
             m.payload for m in messages
             if getattr(m.payload, "tag", None) == self.core.tag
         ]
+        self._deliver_decoded(r, mine, collision)
+
+    def _deliver_decoded(self, r: Round, mine, collision: bool) -> None:
         if r % TWO_PHASE_ROUNDS == 0:
             ballots = [
                 p.ballot for p in mine

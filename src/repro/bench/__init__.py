@@ -21,7 +21,14 @@ not depend on runner hardware.  Absolute wall times and rounds/sec are
 reported alongside for humans.
 """
 
-from .compare import DEFAULT_BASELINE_PATH, DEFAULT_TOLERANCE, compare_reports
+from .compare import (
+    DEFAULT_ABSOLUTE_TOLERANCE,
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_TOLERANCE,
+    compare_absolute,
+    compare_reports,
+)
+from .history import append_history, history_entry, load_history
 from .runner import (
     BenchResult,
     load_report,
@@ -35,10 +42,15 @@ __all__ = [
     "ALL_SCENARIOS",
     "BenchResult",
     "BenchScenario",
+    "DEFAULT_ABSOLUTE_TOLERANCE",
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_TOLERANCE",
     "QUICK_SCENARIOS",
+    "append_history",
+    "compare_absolute",
     "compare_reports",
+    "history_entry",
+    "load_history",
     "load_report",
     "run_benchmarks",
     "run_scenario",

@@ -8,10 +8,18 @@ committed baseline, exiting non-zero on a >15% regression.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-from .compare import DEFAULT_BASELINE_PATH, DEFAULT_TOLERANCE, compare_reports
+from .compare import (
+    DEFAULT_ABSOLUTE_TOLERANCE,
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_TOLERANCE,
+    compare_absolute,
+    compare_reports,
+)
+from .history import append_history
 from .runner import load_report, run_benchmarks, write_report
 from .scenarios import ALL_SCENARIOS, QUICK_SCENARIOS, scenario_by_name
 
@@ -56,7 +64,28 @@ def main(argv: list[str] | None = None) -> int:
                              "machine that produced the baseline)")
     parser.add_argument("--update-baseline", action="store_true",
                         help=f"also write results to {DEFAULT_BASELINE_PATH}")
+    parser.add_argument("--machine-class",
+                        default=os.environ.get("REPRO_MACHINE_CLASS") or None,
+                        help="hardware-class label recorded in the report "
+                             "(default: $REPRO_MACHINE_CLASS); required on "
+                             "both sides for --absolute to arm")
+    parser.add_argument("--absolute", action="store_true",
+                        help="with --compare: additionally gate absolute "
+                             "rounds/sec floors — armed only when the "
+                             "baseline's machine_class matches this run's "
+                             "(the nightly pinned-machine gate)")
+    parser.add_argument("--absolute-tolerance", type=float,
+                        default=DEFAULT_ABSOLUTE_TOLERANCE,
+                        help="maximum tolerated fractional rounds/sec "
+                             "regression for --absolute "
+                             "(default: %(default)s)")
+    parser.add_argument("--append-history", metavar="JSONL",
+                        help="append a one-line digest of this run to the "
+                             "given JSONL trend log (the bench-trend CI "
+                             "job's BENCH_history.jsonl)")
     args = parser.parse_args(argv)
+    if args.absolute and args.compare is None:
+        parser.error("--absolute requires --compare")
 
     if args.list:
         for s in ALL_SCENARIOS:
@@ -82,7 +111,8 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
     report = run_benchmarks(
         scenarios, repeats=args.repeats,
-        reference=not args.no_reference, workers=args.workers, log=print,
+        reference=not args.no_reference, workers=args.workers,
+        machine_class=args.machine_class, log=print,
     )
     out = write_report(report, args.out)
     print(f"wrote {out}")
@@ -96,23 +126,40 @@ def main(argv: list[str] | None = None) -> int:
         write_report(report, DEFAULT_BASELINE_PATH)
         print(f"updated {DEFAULT_BASELINE_PATH}")
 
+    if args.append_history:
+        entry = append_history(report, args.append_history)
+        print(f"appended trend entry to {args.append_history} "
+              f"(revision {entry['revision']}, "
+              f"machine_class {entry['machine_class']})")
+
     if args.compare is not None:
         baseline_path = Path(args.compare)
         if not baseline_path.exists():
             print(f"error: baseline {baseline_path} does not exist",
                   file=sys.stderr)
             return 2
+        baseline = load_report(baseline_path)
         regressions = compare_reports(
-            report, load_report(baseline_path),
+            report, baseline,
             tolerance=args.tolerance, metric=args.metric,
         )
+        if args.absolute:
+            absolute_regressions, skip_reason = compare_absolute(
+                report, baseline, tolerance=args.absolute_tolerance,
+            )
+            if skip_reason is not None:
+                print(f"absolute gate skipped: {skip_reason}")
+            else:
+                regressions += absolute_regressions
         if regressions:
             print(f"REGRESSION vs {baseline_path}:", file=sys.stderr)
             for message in regressions:
                 print(f"  {message}", file=sys.stderr)
             return 1
         print(f"no regression vs {baseline_path} "
-              f"(metric {args.metric}, tolerance {args.tolerance:.0%})")
+              f"(metric {args.metric}, tolerance {args.tolerance:.0%}"
+              + (f"; absolute floors at {args.absolute_tolerance:.0%}"
+                 if args.absolute else "") + ")")
     return 0
 
 

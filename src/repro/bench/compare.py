@@ -1,13 +1,20 @@
 """Regression gating against a committed benchmark baseline.
 
 The committed baseline (``benchmarks/BENCH_baseline.json``) stores, per
-scenario, the indexed fast path's speedup over the reference channel.
+scenario, the fast engine's speedup over the full reference stack
+(all-pairs channel, re-walking history fold, per-node round loop).
 That ratio cancels out machine speed, so a laptop and a CI runner gate
 on the same number: a change that erodes the fast path's advantage by
 more than the tolerance (default 15%) fails, however fast the hardware.
 
-Absolute metrics (``rounds_per_sec``) can be gated too — meaningful only
-when baseline and current run were produced on comparable machines.
+Once a scenario's fast path saturates, the ratio stops moving and only
+absolute throughput can regress further.  :func:`compare_absolute` is
+the opt-in second gate for that regime: it checks ``rounds_per_sec``
+floors — but *only* when the baseline and the current report declare the
+same ``machine_class`` label, so machine-dependent numbers are never
+compared across hardware classes.  The nightly bench-trend job runs it
+on the pinned CI machine class; push/PR smoke runs stay on the
+machine-independent ratio.
 """
 
 from __future__ import annotations
@@ -17,8 +24,13 @@ from pathlib import Path
 #: The committed baseline the CI smoke job compares against.
 DEFAULT_BASELINE_PATH = Path("benchmarks") / "BENCH_baseline.json"
 
-#: Maximum tolerated fractional regression.
+#: Maximum tolerated fractional regression of the speedup ratio.
 DEFAULT_TOLERANCE = 0.15
+
+#: Maximum tolerated fractional regression of absolute rounds/sec.
+#: Looser than the ratio gate: even on a pinned machine class, cloud
+#: runners share tenancy and absolute throughput jitters more.
+DEFAULT_ABSOLUTE_TOLERANCE = 0.30
 
 
 def compare_reports(current: dict, baseline: dict, *,
@@ -54,3 +66,52 @@ def compare_reports(current: dict, baseline: dict, *,
                 f"{tolerance:.0%} tolerance)"
             )
     return regressions
+
+
+def compare_absolute(current: dict, baseline: dict, *,
+                     tolerance: float = DEFAULT_ABSOLUTE_TOLERANCE
+                     ) -> tuple[list[str], str | None]:
+    """The opt-in absolute rounds/sec gate.
+
+    Returns ``(regressions, skip_reason)``.  The gate only arms when
+    both reports carry the same non-empty ``machine_class`` — otherwise
+    it reports *why* it stayed disarmed (missing label on either side,
+    or a class mismatch) and no regressions.  When armed, every gated
+    scenario present on both sides must keep its ``rounds_per_sec`` at
+    or above the baseline's value minus the tolerance.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must lie in [0, 1), got {tolerance}")
+    base_class = baseline.get("machine_class")
+    cur_class = current.get("machine_class")
+    if not base_class:
+        return [], ("baseline declares no machine_class; record one with "
+                    "`python -m repro.bench --machine-class <label> "
+                    "--update-baseline` on the pinned machine")
+    if not cur_class:
+        return [], ("current report declares no machine_class; pass "
+                    "--machine-class <label> to arm the absolute gate")
+    if base_class != cur_class:
+        return [], (f"machine_class mismatch (baseline {base_class!r}, "
+                    f"current {cur_class!r}); absolute floors only bind "
+                    "on the machine class that recorded them")
+    regressions = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name in sorted(base_results):
+        if name not in cur_results:
+            continue
+        if base_results[name].get("gated", True) is False:
+            continue
+        base_value = base_results[name].get("rounds_per_sec")
+        cur_value = cur_results[name].get("rounds_per_sec")
+        if not base_value or cur_value is None:
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if cur_value < floor:
+            regressions.append(
+                f"{name}: rounds_per_sec regressed {base_value:.0f} -> "
+                f"{cur_value:.0f} on machine class {base_class!r} "
+                f"(floor {floor:.0f} at {tolerance:.0%} tolerance)"
+            )
+    return regressions, None

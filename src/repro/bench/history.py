@@ -1,0 +1,131 @@
+"""The benchmark trend log: append-only JSONL of report digests.
+
+``benchmarks/BENCH_history.jsonl`` holds one line per recorded benchmark
+run — a timestamped digest of the interesting per-scenario numbers
+(rounds/sec, speedup-vs-reference, wall time), plus the machine class
+and git revision that produced them — so the performance trajectory of
+the engine is finally a dataset instead of folklore.  The nightly
+``bench-trend`` CI job appends an entry after every full matrix run and
+re-uploads the file as an artifact (and cache), giving a cumulative
+record across runs.
+
+The digest deliberately drops descriptions and phase breakdowns: one
+line must stay greppable and the full ``BENCH_results.json`` artifact
+exists for forensics.
+
+Usage::
+
+    python -m repro.bench --append-history benchmarks/BENCH_history.jsonl
+    python -m repro.bench.history BENCH_results.json BENCH_history.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: History-line schema version (independent of the report schema).
+HISTORY_SCHEMA = 1
+
+#: Per-scenario fields copied into a history entry, in this order.
+DIGEST_FIELDS = ("rounds_per_sec", "speedup_vs_reference", "wall_s",
+                 "rounds", "gated")
+
+
+def _git_revision() -> str | None:
+    """Current commit id, from CI env if available, else git itself."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # Covers TimeoutExpired too: a wedged git must not abort the
+        # trend append after a full matrix has already been measured.
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def history_entry(report: dict, *,
+                  timestamp: str | None = None,
+                  revision: str | None = None) -> dict:
+    """One JSONL-ready digest of a benchmark report.
+
+    ``timestamp`` (ISO-8601) and ``revision`` default to the current
+    UTC time and the checked-out commit; pass them explicitly for
+    reproducible tests.
+    """
+    if timestamp is None:
+        timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    if revision is None:
+        revision = _git_revision()
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": timestamp,
+        "revision": revision,
+        "machine_class": report.get("machine_class"),
+        "config": report.get("config", {}),
+        "results": {
+            name: {field: row.get(field) for field in DIGEST_FIELDS}
+            for name, row in sorted(report.get("results", {}).items())
+        },
+    }
+
+
+def append_history(report: dict, path: str | Path, *,
+                   timestamp: str | None = None,
+                   revision: str | None = None) -> dict:
+    """Append one digest line for ``report`` to the JSONL file at
+    ``path`` (created, parents included, if absent) and return it."""
+    entry = history_entry(report, timestamp=timestamp, revision=revision)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All recorded entries, oldest first (empty when the file is new)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench.history RESULTS HISTORY`` — append one
+    digest of an existing report file to a history file."""
+    import argparse
+
+    from .runner import load_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description="Append a benchmark report digest to a JSONL trend log.",
+    )
+    parser.add_argument("results", help="BENCH_results.json to digest")
+    parser.add_argument("history", help="JSONL trend log to append to")
+    args = parser.parse_args(argv)
+    entry = append_history(load_report(args.results), args.history)
+    scenarios = len(entry["results"])
+    print(f"appended {scenarios} scenario digest(s) to {args.history} "
+          f"(revision {entry['revision']}, "
+          f"machine_class {entry['machine_class']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

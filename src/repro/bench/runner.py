@@ -8,12 +8,14 @@ break each round's wall time into the *channel* phase, the *history*
 phase (``calculate-history`` folding) and the *protocol + engine*
 remainder.
 
-Reference timings re-run the same scenario with the channel pinned to
-its all-pairs reference path, the simulator's caches disabled, and every
-protocol core pinned to the seed re-walking history fold — the same
-switches ``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1``
-flip globally — giving the machine-independent ``speedup_vs_reference``
-ratio the regression gate (:mod:`repro.bench.compare`) is keyed on.
+Reference timings re-run the same scenario on the full reference stack:
+the channel pinned to its all-pairs path, the simulator's caches
+disabled *and* its round loop pinned to the seed per-node engine, and
+every protocol core pinned to the seed re-walking history fold — the
+same switches ``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1``
+/ ``REPRO_REFERENCE_ENGINE=1`` flip globally — giving the
+machine-independent ``speedup_vs_reference`` ratio the regression gate
+(:mod:`repro.bench.compare`) is keyed on.
 
 ``run_benchmarks(..., workers=N)`` fans whole scenarios out over
 :func:`repro.experiment.sweep.pool_map` (the sweep subsystem's worker
@@ -40,7 +42,8 @@ SCHEMA = 1
 
 
 class _ChannelTimer:
-    """Delegating proxy accumulating time spent in Channel.deliver."""
+    """Delegating proxy accumulating time spent in channel delivery
+    (both the classic per-call entrypoint and the batched one)."""
 
     def __init__(self, inner) -> None:
         self._inner = inner
@@ -50,6 +53,13 @@ class _ChannelTimer:
     def deliver(self, *args, **kwargs):
         t0 = time.perf_counter()
         out = self._inner.deliver(*args, **kwargs)
+        self.seconds += time.perf_counter() - t0
+        self.calls += 1
+        return out
+
+    def deliver_batch(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = self._inner.deliver_batch(*args, **kwargs)
         self.seconds += time.perf_counter() - t0
         self.calls += 1
         return out
@@ -94,6 +104,7 @@ def _time_once(scenario: BenchScenario, *,
         if reference:
             sim.fast_path = False
             sim.channel.use_reference = True
+            sim.use_reference_engine = True
         timer = _ChannelTimer(sim.channel)
         sim.channel = timer
         timer_box.append(timer)
@@ -160,8 +171,16 @@ def _scenario_job(job: tuple[str, int, bool]) -> dict:
 def run_benchmarks(scenarios: Iterable[BenchScenario] = ALL_SCENARIOS, *,
                    repeats: int = 3, reference: bool = True,
                    workers: int = 1,
+                   machine_class: str | None = None,
                    log: Callable[[str], None] | None = None) -> dict:
     """Run a scenario matrix and assemble the report dict.
+
+    ``machine_class`` is an operator-assigned label for the hardware
+    class the run executed on (e.g. ``"github-ubuntu-24.04"``).  It is
+    recorded verbatim in the report; the absolute rounds/sec gate
+    (:func:`repro.bench.compare.compare_absolute`) only arms itself when
+    a report and a baseline carry the *same* non-empty label, so
+    machine-dependent numbers are never compared across machine classes.
 
     ``workers > 1`` fans scenarios out over the sweep subsystem's worker
     pool (one scenario per process at a time; requires every scenario to
@@ -199,6 +218,7 @@ def run_benchmarks(scenarios: Iterable[BenchScenario] = ALL_SCENARIOS, *,
                 scenario, repeats=repeats, reference=reference, log=log))
     return {
         "schema": SCHEMA,
+        "machine_class": machine_class,
         "config": {"repeats": repeats, "reference": reference,
                    "workers": workers},
         "results": results,

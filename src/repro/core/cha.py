@@ -32,7 +32,7 @@ import time
 from typing import Any, Callable, Iterable, Mapping
 
 from ..errors import ProtocolError
-from ..net.messages import Message
+from ..net.messages import MIXED_TAGS, Message
 from ..net.node import Process
 from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Round, Value
 from .ballot import Ballot, BallotPayload, VetoPayload
@@ -50,6 +50,10 @@ ROUNDS_PER_INSTANCE = 3
 PHASE_BALLOT = 0
 PHASE_VETO1 = 1
 PHASE_VETO2 = 2
+
+#: Shared empty decoded-payload sequence (read-only by construction:
+#: the deliver paths only ever iterate the decoded list).
+_NO_PAYLOADS: tuple = ()
 
 
 def calculate_history_reference(instance: Instance, prev: Instance,
@@ -170,17 +174,20 @@ class ChaCore:
         for good instances, computes the history, and produces the
         instance's output: the history when green, bottom otherwise.
         """
+        k = self.k
+        status = self.status[k]
         if veto_seen or collision:
-            self.status[self.k] = min(Color.YELLOW, self.status[self.k])
-        if self.status[self.k].is_good:
-            self.prev_instance = self.k
+            status = min(Color.YELLOW, status)
+            self.status[k] = status
+        if status.is_good:
+            self.prev_instance = k
         output: History | None
-        if self.status[self.k] is Color.GREEN:
+        if status is Color.GREEN:
             output = self.current_history()
         else:
             output = BOTTOM
-        self.outputs.append((self.k, output))
-        return self.k, output
+        self.outputs.append((k, output))
+        return k, output
 
     # ------------------------------------------------------------------
     # Introspection
@@ -319,18 +326,22 @@ class CHAProcess(Process):
         return self.cm_name
 
     def send(self, r: Round, active: bool) -> Any | None:
-        phase = self._phase(r)
+        phase = (r - self.start_round) % ROUNDS_PER_INSTANCE
+        core = self.core
         if phase == PHASE_BALLOT:
-            self._pending_ballot = self.core.begin_instance()
+            self._pending_ballot = core.begin_instance()
             if active:
                 return self._pending_ballot
             return None
+        # The veto predicates are wants_veto1()/wants_veto2() inlined —
+        # this runs once per node per round.
+        status = core.status[core.k]
         if phase == PHASE_VETO1:
-            if self.core.wants_veto1():
-                return VetoPayload(self.core.tag, self.core.k, 1)
+            if status is Color.RED:
+                return VetoPayload(core.tag, core.k, 1)
             return None
-        if self.core.wants_veto2():
-            return VetoPayload(self.core.tag, self.core.k, 2)
+        if status <= Color.ORANGE:
+            return VetoPayload(core.tag, core.k, 2)
         return None
 
     def deliver(self, r: Round, messages: tuple[Message, ...], collision: bool) -> None:
@@ -348,6 +359,52 @@ class CHAProcess(Process):
         else:
             veto = any(isinstance(p, VetoPayload) for p in mine)
             k, output = self.core.on_veto2_reception(veto, collision)
+            if self._on_output is not None:
+                self._on_output(k, output)
+
+    def deliver_batch(self, r: Round, messages: tuple[Message, ...],
+                      collision: bool, batch) -> None:
+        """Batched delivery — :meth:`deliver` with the per-receiver work
+        amortised through the shared round batch.
+
+        The batch already knows the round's tag census, so the common
+        single-ensemble case skips the per-message ``getattr`` scan
+        (every payload is ours), a foreign ensemble's round is discarded
+        wholesale, and empty receptions skip decoding entirely.  The
+        phase dispatch is kept inline (not shared with :meth:`deliver`)
+        on purpose: this runs once per node per round and the extra
+        frame is measurable — keep the two bodies in lockstep.
+        """
+        core = self.core
+        if not messages:
+            mine = _NO_PAYLOADS
+        else:
+            tag = core.tag
+            uniform = batch.uniform_tag()
+            if uniform == tag:
+                mine = [m.payload for m in messages]
+            elif uniform is not MIXED_TAGS:
+                mine = _NO_PAYLOADS  # a foreign ensemble's round
+            else:
+                mine = [m.payload for m in messages
+                        if getattr(m.payload, "tag", None) == tag]
+        phase = (r - self.start_round) % ROUNDS_PER_INSTANCE
+        if phase == PHASE_BALLOT:
+            ballots = [
+                p.ballot for p in mine
+                if isinstance(p, BallotPayload) and p.instance == core.k
+            ]
+            core.on_ballot_reception(ballots, collision)
+            return
+        veto = False
+        for p in mine:
+            if isinstance(p, VetoPayload):
+                veto = True
+                break
+        if phase == PHASE_VETO1:
+            core.on_veto1_reception(veto, collision)
+        else:
+            k, output = core.on_veto2_reception(veto, collision)
             if self._on_output is not None:
                 self._on_output(k, output)
 

@@ -63,9 +63,15 @@ class CheckpointChaCore(ChaCore):
 
     # -- folding --------------------------------------------------------
 
-    def _fold_to(self, green: Instance) -> None:
-        """Advance the checkpoint to the green instance ``green``."""
-        history = self.current_history()
+    def _fold_to(self, green: Instance, history: History | None = None) -> None:
+        """Advance the checkpoint to the green instance ``green``.
+
+        ``history`` lets the caller reuse an already-computed fold of
+        the current chain (it is, by definition, what
+        :meth:`current_history` would return right now).
+        """
+        if history is None:
+            history = self.current_history()
         state = self.checkpoint_state
         for k in range(self.checkpoint_instance + 1, green + 1):
             state = self._reducer(state, k, history(k))
@@ -80,7 +86,12 @@ class CheckpointChaCore(ChaCore):
         self.status = {
             k: c for k, c in self.status.items() if k >= green
         }
-        # Cached folds were anchored at the old checkpoint floor.
+        # Cached folds were anchored at the old checkpoint floor: their
+        # chains still carry entries at or below the new one, so seeding
+        # a floor-anchored fold from them would resurrect GC'd instances.
+        # (restore()/reset_to() clear the cache for the same reason —
+        # adopted ballots/anchors may disagree with locally cached
+        # chains; the fold-count regression test pins all three paths.)
         self._fold_cache.clear()
 
     def on_veto2_reception(self, veto_seen: bool, collision: bool):
@@ -96,8 +107,13 @@ class CheckpointChaCore(ChaCore):
             self.prev_instance = self.k
         output: CheckpointOutput | None
         if self.status[self.k] is Color.GREEN:
-            self._fold_to(self.k)
-            output = self.current_checkpoint_output()
+            # One fold serves both the checkpoint advance and the output
+            # derivation (the seed path re-folded the chain a second
+            # time inside current_checkpoint_output, right after
+            # _fold_to had discarded the fold cache).
+            history = self.current_history()
+            self._fold_to(self.k, history)
+            output = self.current_checkpoint_output(history)
         else:
             output = BOTTOM
         self.outputs.append((self.k, output))
@@ -105,9 +121,15 @@ class CheckpointChaCore(ChaCore):
 
     # -- checkpointed view ----------------------------------------------
 
-    def current_checkpoint_output(self) -> CheckpointOutput:
-        """The (checkpoint, suffix) pair for the current chain."""
-        history = self.current_history()
+    def current_checkpoint_output(self, history: History | None = None) -> CheckpointOutput:
+        """The (checkpoint, suffix) pair for the current chain.
+
+        ``history`` is an optional already-computed fold of the current
+        chain; passing it (as the green-instance path does) avoids
+        re-folding the suffix the caller just derived.
+        """
+        if history is None:
+            history = self.current_history()
         suffix_entries = {
             k: v for k, v in history.items() if k > self.checkpoint_instance
         }

@@ -391,6 +391,7 @@ def _run_cluster(spec: ExperimentSpec,
              else LeaderElectionCM(stable_round=0)},
         crashes=env.crashes,
         record_trace=spec.keep_trace,
+        use_reference_engine=spec.use_reference_engine,
     )
     wire = WireStatsObserver()
     sim.add_observer(wire)
@@ -488,6 +489,7 @@ def _run_emulation(spec: ExperimentSpec,
         min_schedule_length=world_spec.min_schedule_length,
         schedule=world_spec.schedule,
         use_reference_history=spec.use_reference_history,
+        use_reference_engine=spec.use_reference_engine,
     )
     world.sim.record_trace = spec.keep_trace
     wire = WireStatsObserver()

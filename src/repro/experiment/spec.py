@@ -242,6 +242,11 @@ class ExperimentSpec:
     #: to the ``REPRO_REFERENCE_HISTORY`` environment switch at core
     #: construction time, mirroring ``REPRO_REFERENCE_CHANNEL``.
     use_reference_history: bool | None = None
+    #: Pin this run's simulator to the seed per-node round loop instead
+    #: of the batched dispatch engine.  ``None`` defers to the
+    #: ``REPRO_REFERENCE_ENGINE`` environment switch at simulator
+    #: construction time.
+    use_reference_engine: bool | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent combinations."""

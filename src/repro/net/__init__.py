@@ -20,7 +20,7 @@ from .channel import (
 )
 from .index import SpatialGridIndex
 from .location import LocationService
-from .messages import Message, wire_size
+from .messages import MIXED_TAGS, Message, RoundBatch, wire_size
 from .mobility import (
     LinearMobility,
     MobilityModel,
@@ -30,7 +30,12 @@ from .mobility import (
     WaypointMobility,
 )
 from .node import Crash, CrashPoint, CrashSchedule, Process
-from .simulator import RoundObserver, Simulator
+from .simulator import (
+    REFERENCE_ENGINE_ENV,
+    RoundObserver,
+    Simulator,
+    reference_engine_forced,
+)
 from .trace import RoundRecord, Trace, canonical_dump
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "CrashSchedule",
     "LinearMobility",
     "LocationService",
+    "MIXED_TAGS",
     "Message",
     "MobilityModel",
     "NoAdversary",
@@ -51,15 +57,18 @@ __all__ = [
     "Process",
     "RadioSpec",
     "REFERENCE_CHANNEL_ENV",
+    "REFERENCE_ENGINE_ENV",
     "RandomLossAdversary",
     "RandomWaypointMobility",
     "Reception",
+    "RoundBatch",
     "RoundObserver",
     "RoundRecord",
     "ScriptedAdversary",
     "Simulator",
     "SpatialGridIndex",
     "reference_channel_forced",
+    "reference_engine_forced",
     "StaticMobility",
     "TargetedDropAdversary",
     "Trace",

@@ -81,3 +81,57 @@ class Message:
     def size(self) -> int:
         """Wire-size estimate of the payload (envelope not charged)."""
         return wire_size(self.payload)
+
+
+#: Sentinel: the round batch has not classified its broadcasts yet.
+_UNRESOLVED = object()
+
+#: Sentinel returned by :meth:`RoundBatch.uniform_tag` when the round's
+#: broadcasts carry no single common ``tag`` (or there are none at all).
+#: Distinct from any real tag, including ``None``-tagged payloads.
+MIXED_TAGS = object()
+
+
+class RoundBatch:
+    """A shared, per-round decoded view of one round's broadcasts.
+
+    The batched round engine builds exactly one ``RoundBatch`` per round
+    and hands it to every receiver's
+    :meth:`~repro.net.node.Process.deliver_batch`, so work that depends
+    only on *what was broadcast* — not on who received it — happens once
+    per round instead of once per receiver.  All derived views are lazy:
+    a round whose receivers never consult the batch pays one attribute
+    store.  Batches are round-scoped; holding one past the round it was
+    built for is a bug.
+    """
+
+    __slots__ = ("broadcasts", "_uniform_tag")
+
+    def __init__(self, broadcasts: "dict[NodeId, Message]") -> None:
+        self.broadcasts = broadcasts
+        self._uniform_tag: Any = _UNRESOLVED
+
+    def uniform_tag(self) -> Any:
+        """The single ``tag`` attribute shared by every broadcast payload
+        this round, or :data:`MIXED_TAGS`.
+
+        Tag-multiplexed protocols (the CHA family, the emulation) filter
+        every reception by their own tag; when the whole round is known
+        to carry one tag, a receiver whose tag matches can skip the
+        per-message ``getattr`` scan entirely and one whose tag differs
+        can discard the reception wholesale.
+        """
+        tag = self._uniform_tag
+        if tag is _UNRESOLVED:
+            tag = MIXED_TAGS
+            first = True
+            for message in self.broadcasts.values():
+                t = getattr(message.payload, "tag", MIXED_TAGS)
+                if first:
+                    tag = t
+                    first = False
+                elif t != tag:
+                    tag = MIXED_TAGS
+                    break
+            self._uniform_tag = tag
+        return tag

@@ -34,6 +34,21 @@ class MobilityModel(ABC):
         """
         return float("inf")
 
+    def moved_in(self, r: Round) -> bool:
+        """Dirty-set protocol: may round ``r``'s position differ from
+        round ``r - 1``'s?
+
+        Returning ``False`` is a hard promise of *object identity*:
+        ``position_at(r) is position_at(r - 1)``.  The batched round
+        engine then reuses the previous round's position entry without
+        consulting :meth:`position_at` at all, and — because the very
+        same :class:`~repro.geometry.Point` object lands in the round
+        record — the skip is invisible even to trace pickles.  Models
+        that build a fresh (if equal) ``Point`` per call must keep the
+        conservative default ``True``.
+        """
+        return True
+
 
 class StaticMobility(MobilityModel):
     """A node that never moves (the Section 3 setting)."""
@@ -46,6 +61,9 @@ class StaticMobility(MobilityModel):
 
     def max_speed(self) -> float:
         return 0.0
+
+    def moved_in(self, r: Round) -> bool:
+        return False
 
 
 class LinearMobility(MobilityModel):
@@ -96,6 +114,12 @@ class WaypointMobility(MobilityModel):
 
     def max_speed(self) -> float:
         return self._speed
+
+    def moved_in(self, r: Round) -> bool:
+        # Distinct (eagerly cached) Point objects while the walk lasts;
+        # once parked, position_at returns the final list entry — the
+        # identical object — every round.
+        return r < 1 or r < len(self._positions)
 
 
 class RandomWaypointMobility(MobilityModel):

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..types import NodeId, Round
-from .messages import Message
+from .messages import Message, RoundBatch
 
 
 class Process(ABC):
@@ -54,6 +54,22 @@ class Process(ABC):
     @abstractmethod
     def deliver(self, r: Round, messages: tuple[Message, ...], collision: bool) -> None:
         """Receive round ``r``'s messages and collision indication."""
+
+    def deliver_batch(self, r: Round, messages: tuple[Message, ...],
+                      collision: bool, batch: "RoundBatch") -> None:
+        """Batched-engine delivery: :meth:`deliver` plus a shared
+        per-round :class:`~repro.net.messages.RoundBatch`.
+
+        ``batch`` carries the round's broadcasts decoded *once* for all
+        receivers, so overrides can skip per-receiver attribute scans
+        (e.g. tag filtering) whose outcome the batch already knows.  An
+        override must update state exactly as :meth:`deliver` would —
+        the differential suite pins the two paths byte-identical.  The
+        default simply forwards; the simulator samples the override at
+        :meth:`Simulator.add_node` time (like :meth:`contend`, gaining a
+        ``deliver_batch`` attribute after registration is unsupported).
+        """
+        self.deliver(r, messages, collision)
 
 
 class CrashPoint(enum.Enum):

@@ -33,10 +33,27 @@ path is observably identical to the uncached one — the differential suite
 asserts byte-identical trace pickles — and ``fast_path=False`` (or the
 ``REPRO_REFERENCE_CHANNEL`` environment switch, which also pins the
 channel to its reference path) re-runs anything uncached for debugging.
+
+On top of the caches sits the **batched dispatch engine** (the default):
+one :meth:`Simulator.step` collects every sender's payload in a single
+pass over prebound send methods, hands the channel the whole batch in
+one :meth:`~repro.net.channel.Channel.deliver_batch` call, derives the
+round's position map through the mobility dirty-set protocol
+(:meth:`~repro.net.mobility.MobilityModel.moved_in` — untouched nodes
+never rebuild their position entries), shares one decoded
+:class:`~repro.net.messages.RoundBatch` across every receiver's
+:meth:`~repro.net.node.Process.deliver_batch`, and skips contention
+bookkeeping entirely when no node can ever contend.  The seed per-node
+loop survives verbatim as :meth:`Simulator._step_reference`, selected by
+``use_reference_engine=True`` or the ``REPRO_REFERENCE_ENGINE``
+environment switch; the differential suite pins the two engines
+byte-identical (traces, outputs, metrics, verdicts) across every
+protocol family and switch combination.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -48,13 +65,23 @@ from ..types import NodeId, Round
 from .adversary import Adversary, NoAdversary
 from .channel import Channel, RadioSpec, Reception, reference_channel_forced
 from .location import LocationService
-from .messages import Message
+from .messages import Message, RoundBatch
 from .mobility import MobilityModel, StaticMobility
 from .node import CrashSchedule, Process
 from .trace import RoundRecord, Trace
 
 #: Per-round hook: called with each completed :class:`RoundRecord`.
 RoundObserver = Callable[[RoundRecord], None]
+
+#: Environment switch: any value except ``""``/``"0"`` pins every newly
+#: constructed simulator to the seed per-node round loop instead of the
+#: batched dispatch engine (mirrors ``REPRO_REFERENCE_CHANNEL``).
+REFERENCE_ENGINE_ENV = "REPRO_REFERENCE_ENGINE"
+
+
+def reference_engine_forced() -> bool:
+    """Whether the environment pins simulators to the reference engine."""
+    return os.environ.get(REFERENCE_ENGINE_ENV, "0") not in ("", "0")
 
 
 @dataclass
@@ -78,13 +105,19 @@ class Simulator:
                  location_update_period: int = 1,
                  observers: Iterable[RoundObserver] = (),
                  record_trace: bool = True,
-                 fast_path: bool | None = None) -> None:
+                 fast_path: bool | None = None,
+                 use_reference_engine: bool | None = None) -> None:
         self.spec = spec
         self.adversary = adversary if adversary is not None else NoAdversary()
         self.channel = Channel(spec, self.adversary)
         if fast_path is None:
             fast_path = not reference_channel_forced()
         self.fast_path = fast_path
+        if use_reference_engine is None:
+            use_reference_engine = reference_engine_forced()
+        #: Pin :meth:`step` to the seed per-node dispatch loop instead of
+        #: the batched engine (read per step, so tests can flip it).
+        self.use_reference_engine = use_reference_engine
         self.detector = detector if detector is not None else EventuallyAccurateDetector()
         self.cms: dict[str, ContentionManager] = dict(cms or {})
         self.crashes = crashes if crashes is not None else CrashSchedule()
@@ -107,6 +140,19 @@ class Simulator:
         self._all_static = True
         self._contenders_possible: list[NodeId] = []
         self._steady_positions: dict[NodeId, Point] | None = None
+        #: Batched-engine dispatch tables, indexed by (sequential) node
+        #: id: prebound send/deliver methods, and the process's
+        #: ``deliver_batch`` override (``None`` when it would just
+        #: forward to ``deliver``, sparing the extra frame).
+        self._send_fns: list[Callable] = []
+        self._deliver_fns: list[Callable] = []
+        self._deliver_batch_fns: list[Callable | None] = []
+        self._contend_fns: list[Callable] = []
+        #: Dirty-set cache: ``(round, present, positions)`` of the last
+        #: batched round, the base the next round's position map is
+        #: copied from when nothing joined, crashed, or moved.
+        self._batch_prev: tuple[Round, list[NodeId],
+                                dict[NodeId, Point]] | None = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -144,9 +190,22 @@ class Simulator:
         if (type(process).contend is not Process.contend
                 or "contend" in getattr(process, "__dict__", {})):
             self._contenders_possible.append(node_id)
+        # Batched-engine dispatch tables.  ``deliver_batch`` is sampled
+        # like ``contend`` above: overriding it (on the class or the
+        # instance) after add_node is unsupported.
+        self._send_fns.append(process.send)
+        self._deliver_fns.append(process.deliver)
+        self._contend_fns.append(process.contend)
+        batch_impl = getattr(type(process), "deliver_batch", None)
+        if ((batch_impl is not None and batch_impl is not Process.deliver_batch)
+                or "deliver_batch" in getattr(process, "__dict__", {})):
+            self._deliver_batch_fns.append(process.deliver_batch)
+        else:
+            self._deliver_batch_fns.append(None)
         self._steady_positions = None
-        # New nodes invalidate the positions-unchanged cache.
+        # New nodes invalidate the positions-unchanged caches.
         self._last_present = None
+        self._batch_prev = None
         return node_id
 
     def add_cm(self, name: str, cm: ContentionManager) -> None:
@@ -187,6 +246,17 @@ class Simulator:
 
     def step(self) -> RoundRecord:
         """Execute one synchronous round and append it to the trace."""
+        if self.use_reference_engine:
+            return self._step_reference()
+        return self._step_batched()
+
+    def _step_reference(self) -> RoundRecord:
+        """The seed per-node round loop (executable specification).
+
+        Kept verbatim as the reference the batched engine is proven
+        byte-identical against; ``use_reference_engine=True`` or
+        ``REPRO_REFERENCE_ENGINE=1`` re-runs everything through it.
+        """
         r = self._round
         # With no crash schedule, "alive" reduces to the start_round
         # check, and every present node both sends and receives.
@@ -342,6 +412,241 @@ class Simulator:
             receptions=delivered,
             collisions=flags,
             advised_active=frozenset(advised),
+            crashed=crashed_now,
+        )
+        if self.record_trace:
+            self.trace.append(record)
+        for observer in self._observers:
+            observer(record)
+        self._round += 1
+        return record
+
+    def _step_batched(self) -> RoundRecord:
+        """The batched dispatch engine (the default round loop).
+
+        Observably identical to :meth:`_step_reference` — same component
+        call sequences (contention managers, adversary and detector RNG
+        streams, process methods) and identical round-record object
+        graphs — but organised round-at-a-time instead of node-at-a-time:
+
+        * the position map is maintained through the mobility dirty-set
+          protocol (copy last round's map, touch only nodes whose model
+          reports movement) instead of n ``position_at`` dispatches;
+        * payload collection runs over prebound send methods and hands
+          the channel the whole batch (with its already-sorted sender
+          list) in one call;
+        * deliveries share a single per-round :class:`RoundBatch`, so
+          protocols with a ``deliver_batch`` override decode the round's
+          broadcasts once for all receivers;
+        * contention bookkeeping is skipped outright when no registered
+          process can ever contend.
+        """
+        r = self._round
+        nodes = self._nodes
+        fast = self.fast_path
+        crashes = self.crashes
+        no_crashes = fast and not len(crashes)
+        steady = no_crashes and self._max_start <= r
+
+        # -- mobility & liveness ---------------------------------------
+        if steady and self._all_static:
+            present = self._node_list
+            if self._steady_positions is None:
+                self._steady_positions = {
+                    node: nodes[node].static_position
+                    for node in present
+                }
+                unchanged = False
+            else:
+                unchanged = self._positions_observed
+            positions: dict[NodeId, Point] = self._steady_positions.copy()
+        else:
+            if no_crashes:
+                present = [
+                    node for node in self._node_list
+                    if nodes[node].start_round <= r
+                ]
+            else:
+                present = [
+                    node for node in self._node_list
+                    if self.alive(node, r)
+                ]
+            prev = self._batch_prev
+            if fast and prev is not None and prev[0] == r - 1 \
+                    and prev[1] == present:
+                # Dirty set: same membership as last round, so start
+                # from its map and rebuild only the moved entries (the
+                # models' identity promise keeps the skip invisible,
+                # pickles included).
+                positions = prev[2].copy()
+                clean = True
+                for node in present:
+                    entry = nodes[node]
+                    if entry.static_position is not None:
+                        continue
+                    mobility = entry.mobility
+                    if not mobility.moved_in(r):
+                        continue
+                    p = mobility.position_at(r)
+                    if p is not positions[node]:
+                        positions[node] = p
+                        clean = False
+                unchanged = clean and self._positions_observed
+            else:
+                positions = {}
+                all_static = True
+                for node in present:
+                    entry = nodes[node]
+                    p = entry.static_position
+                    if p is None:
+                        all_static = False
+                        p = entry.mobility.position_at(r)
+                    positions[node] = p
+                unchanged = (all_static
+                             and present == self._last_present
+                             and self._positions_observed)
+        if (fast and unchanged
+                and self.locations.staleness_bound == 0):
+            pass  # see _step_reference: re-observing would be a no-op
+        else:
+            self.locations.observe(r, positions)
+            self._positions_observed = True
+        self._last_present = present
+        self._batch_prev = (r, present, positions)
+
+        # -- contention ------------------------------------------------
+        cms = self.cms
+        possible = self._contenders_possible
+        contenders: dict[str, list[NodeId]] | None = None
+        advice: dict[str, frozenset[NodeId]] | None = None
+        advised: set[NodeId] | None = None
+        if possible:
+            if not fast:
+                candidates = present
+            elif steady:
+                candidates = possible
+            elif no_crashes:
+                candidates = [node for node in possible
+                              if nodes[node].start_round <= r]
+            elif len(possible) == len(nodes):
+                candidates = present
+            else:
+                candidates = [node for node in possible
+                              if self.alive(node, r)]
+            contenders = {}
+            contend_fns = self._contend_fns
+            for node in candidates:
+                if not no_crashes and not crashes.sends_in(node, r):
+                    continue
+                cm_name = contend_fns[node](r)
+                if cm_name is None:
+                    continue
+                if cm_name not in cms:
+                    raise SimulationError(
+                        f"node {node} contended for unknown manager {cm_name!r}"
+                    )
+                bucket = contenders.get(cm_name)
+                if bucket is None:
+                    contenders[cm_name] = [node]
+                else:
+                    bucket.append(node)
+            if contenders:
+                advice = {}
+                advised = set()
+                for cm_name, cnodes in sorted(contenders.items()):
+                    # Same clip as the reference's `& frozenset(cnodes)`
+                    # without materialising the n-element operand.
+                    granted = cms[cm_name].advise(r, cnodes).intersection(cnodes)
+                    advice[cm_name] = granted
+                    advised.update(granted)
+
+        # -- send --------------------------------------------------------
+        broadcasts: dict[NodeId, Message] = {}
+        senders: list[NodeId] = []
+        send_fns = self._send_fns
+        if advised:
+            for node in present:
+                if not no_crashes and not crashes.sends_in(node, r):
+                    continue
+                payload = send_fns[node](r, node in advised)
+                if payload is not None:
+                    broadcasts[node] = Message(node, payload)
+                    senders.append(node)
+        else:
+            for node in present:
+                if not no_crashes and not crashes.sends_in(node, r):
+                    continue
+                payload = send_fns[node](r, False)
+                if payload is not None:
+                    broadcasts[node] = Message(node, payload)
+                    senders.append(node)
+
+        # -- channel -----------------------------------------------------
+        receptions = self.channel.deliver_batch(
+            r, positions, broadcasts, senders,
+            positions_unchanged=unchanged and fast)
+
+        # -- detect & deliver ---------------------------------------------
+        flags: dict[NodeId, bool] = {}
+        delivered: dict[NodeId, tuple[Message, ...]] = {}
+        adversary = self.adversary
+        benign = type(adversary) is NoAdversary
+        false_collision = adversary.false_collision
+        detector = self.detector
+        fast_detect = (fast
+                       and type(detector) is EventuallyAccurateDetector
+                       and r >= detector.racc)
+        indicate = detector.indicate
+        batch = RoundBatch(broadcasts)
+        deliver_fns = self._deliver_fns
+        batch_fns = self._deliver_batch_fns
+        any_flag = False
+        for node in present:
+            if not no_crashes and not crashes.receives_in(node, r):
+                continue
+            reception = receptions[node]
+            spurious = False if benign else false_collision(r, node)
+            flag = (reception.lost_within_r2 if fast_detect
+                    else indicate(r, node, reception, spurious))
+            flags[node] = flag
+            if flag:
+                any_flag = True
+            messages = reception.messages
+            delivered[node] = messages
+            bfn = batch_fns[node]
+            if bfn is not None:
+                bfn(r, messages, flag, batch)
+            else:
+                deliver_fns[node](r, messages, flag)
+
+        # -- contention feedback ------------------------------------------
+        if contenders:
+            flags_get = flags.get
+            for cm_name, cnodes in sorted(contenders.items()):
+                # A collision-free round (the overwhelmingly common one)
+                # needs no per-contender flag scan: any() over any
+                # subset of an all-False map is False.
+                collided = any_flag and any(
+                    flags_get(node, False) for node in cnodes)
+                cms[cm_name].feedback(
+                    r, active=advice[cm_name], collided=collided
+                )
+
+        if no_crashes:
+            crashed_now: frozenset[NodeId] = frozenset()
+        else:
+            crashed_now = frozenset(
+                node for node in sorted(nodes)
+                if self.alive(node, r) != self.alive(node, r + 1)
+                and nodes[node].start_round <= r
+            )
+        record = RoundRecord(
+            round=r,
+            positions=positions,
+            broadcasts=broadcasts,
+            receptions=delivered,
+            collisions=flags,
+            advised_active=frozenset(advised) if advised else frozenset(),
             crashed=crashed_now,
         )
         if self.record_trace:

@@ -34,6 +34,11 @@ from .replica import ReplicaRuntime
 from .schedule import Schedule, VNSite
 
 
+#: Shared empty decoded-payload sequence for silent rounds (read-only:
+#: the replica/joiner/client observers only ever iterate payload lists).
+_NO_PAYLOADS: tuple = ()
+
+
 class JoinState(enum.Enum):
     IDLE = "idle"
     WANT_JOIN = "want-join"        # in-region, will request when scheduled
@@ -158,8 +163,18 @@ class VIDevice(Process):
 
     def deliver(self, r: Round, messages: tuple[Message, ...],
                 collision: bool) -> None:
+        self._deliver_payloads(r, [m.payload for m in messages], collision)
+
+    def deliver_batch(self, r: Round, messages: tuple[Message, ...],
+                      collision: bool, batch) -> None:
+        """Batched delivery: silent rounds (the common case away from a
+        device's own phase slots) share one empty payload sequence
+        instead of building a fresh list per receiver."""
+        payloads = [m.payload for m in messages] if messages else _NO_PAYLOADS
+        self._deliver_payloads(r, payloads, collision)
+
+    def _deliver_payloads(self, r: Round, payloads, collision: bool) -> None:
         pos = self.clock.position(r)
-        payloads = [m.payload for m in messages]
         if self.client is not None:
             if pos.phase is Phase.CLIENT:
                 self.client.observe_client_phase(

@@ -61,7 +61,8 @@ class VIWorld:
                  cm_stable_round: int = 0,
                  min_schedule_length: int = 1,
                  schedule: Schedule | None = None,
-                 use_reference_history: bool | None = None) -> None:
+                 use_reference_history: bool | None = None,
+                 use_reference_engine: bool | None = None) -> None:
         if set(programs) != {site.vn_id for site in sites}:
             raise ConfigurationError(
                 "programs must be keyed exactly by the site vn_ids"
@@ -87,6 +88,7 @@ class VIWorld:
             adversary=adversary,
             detector=detector,
             crashes=crashes,
+            use_reference_engine=use_reference_engine,
         )
         for site in sites:
             self.sim.add_cm(f"vn{site.vn_id}", RegionalCM(

@@ -244,3 +244,151 @@ def test_cli_compare_missing_baseline(tmp_path, monkeypatch):
                        "--no-reference", "--out",
                        str(tmp_path / "r.json"),
                        "--compare", str(tmp_path / "absent.json")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Absolute gate + trend history (the CI performance observatory)
+# ----------------------------------------------------------------------
+
+from repro.bench import (  # noqa: E402  (grouped with their tests)
+    append_history,
+    compare_absolute,
+    history_entry,
+    load_history,
+)
+
+
+def _abs_report(machine_class, rps, gated=True):
+    return {
+        "schema": SCHEMA,
+        "machine_class": machine_class,
+        "results": {
+            name: {"rounds_per_sec": value, "gated": gated}
+            for name, value in rps.items()
+        },
+    }
+
+
+def test_absolute_gate_skips_without_machine_class():
+    current = _abs_report("ci", {"a": 100.0})
+    regressions, reason = compare_absolute(
+        current, _abs_report(None, {"a": 1e9}))
+    assert regressions == [] and "baseline declares no machine_class" in reason
+    regressions, reason = compare_absolute(
+        _abs_report(None, {"a": 1.0}), _abs_report("ci", {"a": 1e9}))
+    assert regressions == [] and "current report" in reason
+
+
+def test_absolute_gate_skips_on_machine_class_mismatch():
+    regressions, reason = compare_absolute(
+        _abs_report("laptop", {"a": 1.0}), _abs_report("ci", {"a": 1e9}))
+    assert regressions == [] and "mismatch" in reason
+
+
+def test_absolute_gate_flags_regressions_on_matching_class():
+    baseline = _abs_report("ci", {"a": 1000.0, "b": 500.0})
+    # Within the 30% default tolerance: fine.
+    regressions, reason = compare_absolute(
+        _abs_report("ci", {"a": 800.0, "b": 900.0}), baseline)
+    assert (regressions, reason) == ([], None)
+    # A 50% drop: flagged, with the machine class named.
+    regressions, reason = compare_absolute(
+        _abs_report("ci", {"a": 500.0, "b": 500.0}), baseline)
+    assert reason is None and len(regressions) == 1
+    assert regressions[0].startswith("a:") and "'ci'" in regressions[0]
+    # Ungated scenarios stay informational even on a pinned machine.
+    ungated = _abs_report("ci", {"a": 1000.0}, gated=False)
+    assert compare_absolute(
+        _abs_report("ci", {"a": 1.0}), ungated) == ([], None)
+
+
+def test_absolute_gate_validates_tolerance():
+    with pytest.raises(ValueError):
+        compare_absolute(_abs_report("ci", {}), _abs_report("ci", {}),
+                         tolerance=1.0)
+
+
+def test_machine_class_recorded_in_report():
+    report = run_benchmarks([TINY], repeats=1, reference=False,
+                            machine_class="unit-test-box")
+    assert report["machine_class"] == "unit-test-box"
+    assert run_benchmarks([TINY], repeats=1,
+                          reference=False)["machine_class"] is None
+
+
+def test_history_append_and_load(tmp_path):
+    report = run_benchmarks([TINY], repeats=1, reference=False,
+                            machine_class="unit-test-box")
+    path = tmp_path / "nested" / "BENCH_history.jsonl"
+    first = append_history(report, path, timestamp="2026-07-30T00:00:00+00:00",
+                           revision="deadbeef")
+    append_history(report, path, timestamp="2026-07-30T01:00:00+00:00",
+                   revision="deadbeef")
+    entries = load_history(path)
+    assert len(entries) == 2
+    assert entries[0] == first
+    digest = entries[0]["results"]["tiny-cha"]
+    assert digest["rounds_per_sec"] > 0
+    assert set(digest) == {"rounds_per_sec", "speedup_vs_reference",
+                           "wall_s", "rounds", "gated"}
+    assert entries[0]["machine_class"] == "unit-test-box"
+    assert entries[1]["timestamp"] == "2026-07-30T01:00:00+00:00"
+    # One line per entry: the file is greppable JSONL, not JSON.
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_history_entry_defaults_are_filled():
+    entry = history_entry({"results": {}, "machine_class": None})
+    assert entry["timestamp"]  # ISO stamp generated
+    assert entry["results"] == {}
+
+
+def test_load_history_missing_file(tmp_path):
+    assert load_history(tmp_path / "absent.jsonl") == []
+
+
+def test_cli_absolute_requires_compare(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr("repro.bench.scenarios.ALL_SCENARIOS", (TINY,))
+    with pytest.raises(SystemExit):
+        bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                    "--no-reference", "--absolute",
+                    "--out", str(tmp_path / "r.json")])
+
+
+def test_cli_absolute_gate_end_to_end(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("repro.bench.scenarios.ALL_SCENARIOS", (TINY,))
+    out = tmp_path / "r.json"
+    base_path = tmp_path / "base.json"
+    history = tmp_path / "hist.jsonl"
+
+    # Record a baseline on machine class "unit" with achievable floors.
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--machine-class", "unit",
+                       "--out", str(base_path)]) == 0
+    baseline = load_report(base_path)
+    baseline["results"]["tiny-cha"]["rounds_per_sec"] = 1e-9
+    write_report(baseline, base_path)
+
+    # Same machine class: gate arms and passes; history line appended.
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--machine-class", "unit",
+                       "--out", str(out), "--compare", str(base_path),
+                       "--absolute", "--append-history", str(history)]) == 0
+    assert "absolute floors" in capsys.readouterr().out
+    assert len(load_history(history)) == 1
+
+    # Demanding the impossible on the same class: gate fails.
+    baseline["results"]["tiny-cha"]["rounds_per_sec"] = 1e12
+    write_report(baseline, base_path)
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--machine-class", "unit",
+                       "--out", str(out), "--compare", str(base_path),
+                       "--absolute"]) == 1
+    assert "rounds_per_sec regressed" in capsys.readouterr().err
+
+    # Different machine class: absolute gate skips, ratio gate decides.
+    assert bench_main(["--scenarios", "tiny-cha", "--repeats", "1",
+                       "--no-reference", "--machine-class", "other-box",
+                       "--out", str(out), "--compare", str(base_path),
+                       "--absolute"]) == 0
+    assert "absolute gate skipped" in capsys.readouterr().out

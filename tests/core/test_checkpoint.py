@@ -143,3 +143,69 @@ class TestEnsemble:
         run = run_cha(n=2, instances=3, process_factory=self.make_factory())
         for _, out in run.outputs[0]:
             assert out is BOTTOM or isinstance(out, CheckpointOutput)
+
+
+class TestFoldCallCounts:
+    """Fold-count regression (ISSUE 5 satellite): exactly one chain fold
+    per green instance, and the cache-invalidation paths (fold / restore
+    / reset) keep folding correct without extra re-folds.  Mirrors PR
+    4's zero-``History.__init__`` pin for the plain engine."""
+
+    @staticmethod
+    def _count_folds(monkeypatch, counter=None):
+        counter = counter if counter is not None else {"calls": 0}
+        seed = CheckpointChaCore._compute_history
+
+        def counting(self):
+            counter["calls"] += 1
+            return seed(self)
+
+        monkeypatch.setattr(CheckpointChaCore, "_compute_history", counting)
+        return counter
+
+    def test_green_instance_costs_exactly_one_fold(self, monkeypatch):
+        core = make_core()
+        counter = self._count_folds(monkeypatch)
+        for i in range(1, 9):
+            run_instance(core)
+            # One fold serves _fold_to AND the (checkpoint, suffix)
+            # output; the seed path paid two.
+            assert counter["calls"] == i
+
+    def test_non_green_instances_fold_nothing(self, monkeypatch):
+        core = make_core()
+        counter = self._count_folds(monkeypatch)
+        run_instance(core, clean=False)           # red: bottom output
+        run_instance(core, veto2_collision=True)  # yellow: bottom output
+        assert counter["calls"] == 0
+
+    def test_restore_and_reset_invalidate_without_refolding(self, monkeypatch):
+        donor = make_core()
+        for _ in range(4):
+            run_instance(donor)
+        snapshot = donor.snapshot()
+
+        joiner = make_core()
+        counter = self._count_folds(monkeypatch)
+        joiner.restore(snapshot)
+        assert counter["calls"] == 0      # restore itself never folds
+        assert joiner._fold_cache == {}   # ... but drops stale chains
+        k, out = run_instance(joiner)
+        assert counter["calls"] == 1      # next green folds exactly once
+        assert out.checkpoint_state == donor.checkpoint_state + ((k, f"v{k}"),)
+
+        joiner.reset_to(10, ())
+        assert joiner._fold_cache == {}
+        counter["calls"] = 0
+        k, out = run_instance(joiner)
+        assert (k, counter["calls"]) == (11, 1)
+        assert out.checkpoint_instance == 11 and out.suffix.length == 11
+
+    def test_standalone_checkpoint_output_folds_once(self, monkeypatch):
+        core = make_core()
+        for _ in range(3):
+            run_instance(core)
+        counter = self._count_folds(monkeypatch)
+        out = core.current_checkpoint_output()
+        assert counter["calls"] == 1
+        assert out.checkpoint_instance == 3

@@ -133,3 +133,28 @@ class TestSweepWithFaultPlan:
     def test_invariants_hold_across_the_grid(self):
         for point in sweep(self.faulted_spec(), self.GRID, workers=2):
             assert all(v == "ok" for v in point.invariants.values()), point
+
+
+class TestEngineSwitchSweep:
+    """The batched engine under the worker pool: sweeping the engine
+    switch itself must produce byte-identical points serially and in
+    parallel, and both engine values must yield the same metrics."""
+
+    GRID = {"use_reference_engine": (False, True),
+            "workload__instances": (6, 10)}
+
+    def test_serial_and_parallel_byte_identical(self):
+        serial = sweep(seeded_spec(), self.GRID)
+        parallel = sweep(seeded_spec(), self.GRID, workers=2)
+        assert [pickle.dumps(p) for p in serial] \
+            == [pickle.dumps(p) for p in parallel]
+
+    def test_engines_agree_point_for_point(self):
+        points = sweep(seeded_spec(), self.GRID, workers=2)
+        by_engine = {}
+        for point in points:
+            key = point["workload__instances"]
+            by_engine.setdefault(key, []).append(
+                (point.metrics, point.invariants))
+        for key, pairs in by_engine.items():
+            assert pairs[0] == pairs[1], key

@@ -167,11 +167,13 @@ def test_golden_trace(name, request):
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_golden_trace_reference_path(name, request, monkeypatch):
     """The goldens hold on the full reference stack too (all-pairs
-    channel *and* re-walking history fold) — the committed files pin
-    *model* behaviour, not fast-path quirks."""
+    channel, re-walking history fold *and* the seed per-node round
+    loop) — the committed files pin *model* behaviour, not fast-path
+    quirks."""
     if request.config.getoption("--update-golden"):
         pytest.skip("goldens being rewritten")
     monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "1")
     monkeypatch.setenv("REPRO_REFERENCE_HISTORY", "1")
+    monkeypatch.setenv("REPRO_REFERENCE_ENGINE", "1")
     dump = canonical_dump(run(SCENARIOS[name]()).trace)
     assert dump == (GOLDEN_DIR / f"{name}.golden").read_text()

@@ -116,3 +116,109 @@ class TestOrbit:
     def test_invalid_radius(self):
         with pytest.raises(ValueError):
             OrbitMobility(Point(0, 0), radius=0.0, speed=1.0)
+
+
+class TestDirtySetProtocol:
+    """The moved_in contract: False promises position_at(r) IS
+    position_at(r-1) — the identity the batched engine's dirty set
+    relies on to skip rebuilding position entries."""
+
+    MODELS = [
+        ("static", lambda: StaticMobility(Point(1, 2))),
+        ("linear", lambda: LinearMobility(Point(0, 0), Point(0.1, 0.0))),
+        ("linear-parked", lambda: LinearMobility(Point(0, 0), Point(0, 0))),
+        ("waypoint", lambda: WaypointMobility(
+            Point(0, 0), [Point(1, 0), Point(1, 1)], speed=0.3)),
+        ("waypoint-parked", lambda: WaypointMobility(Point(2, 2), [], speed=1.0)),
+        ("random-waypoint", lambda: RandomWaypointMobility(
+            Point(0, 0), arena=(-2, -2, 2, 2), speed=0.4, seed=7)),
+        ("orbit", lambda: OrbitMobility(Point(0, 0), radius=1.0, speed=0.5)),
+    ]
+
+    @pytest.mark.parametrize("name,factory", MODELS,
+                             ids=[name for name, _ in MODELS])
+    def test_moved_in_false_implies_identity(self, name, factory):
+        model = factory()
+        for r in range(1, 60):
+            if not model.moved_in(r):
+                assert model.position_at(r) is model.position_at(r - 1), \
+                    f"{name}: round {r} broke the identity promise"
+
+    def test_waypoint_reports_clean_once_parked(self):
+        model = WaypointMobility(Point(0, 0), [Point(0, 1)], speed=0.5)
+        horizon = len(model._positions)
+        assert all(model.moved_in(r) for r in range(1, horizon))
+        assert not any(model.moved_in(r) for r in range(horizon, horizon + 20))
+
+    def test_static_always_clean_conservative_models_always_dirty(self):
+        assert not StaticMobility(Point(0, 0)).moved_in(5)
+        # Fresh-Point-per-call models must keep the conservative default.
+        assert LinearMobility(Point(0, 0), Point(0, 0)).moved_in(5)
+        assert OrbitMobility(Point(0, 0), radius=1.0, speed=0.0).moved_in(5)
+        assert RandomWaypointMobility(
+            Point(0, 0), arena=(-1, -1, 1, 1), speed=0.0, seed=1).moved_in(5)
+
+
+class TestDirtySetEngineIntegration:
+    """k movers among n nodes cost O(k) position updates per round on
+    the batched engine (the ISSUE's mobility property test)."""
+
+    class _Counting(WaypointMobility):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.position_calls = 0
+
+        def position_at(self, r):
+            self.position_calls += 1
+            return super().position_at(r)
+
+    @pytest.mark.parametrize("n,k", [(12, 0), (12, 3), (20, 5)])
+    def test_only_movers_pay_position_updates(self, n, k):
+        from repro.net import RadioSpec, Simulator
+
+        class Quiet:
+            def contend(self, r): return None
+            def send(self, r, active): return None
+            def deliver(self, r, messages, collision): pass
+
+        sim = Simulator(spec=RadioSpec(r1=1.0, r2=1.5))
+        models = []
+        for i in range(n):
+            if i < k:
+                # Long walk: stays dirty for the whole run.
+                model = self._Counting(
+                    Point(i * 0.1, 0.0), [Point(i * 0.1, 50.0)], speed=0.05)
+            else:
+                # Parks immediately: dirty only while the engine warms up.
+                model = self._Counting(Point(i * 0.1, 0.0), [], speed=1.0)
+            models.append(model)
+            sim.add_node(Quiet(), model)
+
+        warmup = 2
+        sim.run(warmup)
+        for m in models:
+            m.position_calls = 0
+        rounds = 30
+        sim.run(rounds)
+
+        movers = models[:k]
+        parked = models[k:]
+        # Every mover is consulted once per round; every parked node not
+        # at all — O(k) total updates, not O(n).
+        assert all(m.position_calls == rounds for m in movers)
+        assert all(m.position_calls == 0 for m in parked)
+
+    def test_reference_engine_still_consults_everyone(self):
+        from repro.net import RadioSpec, Simulator
+
+        class Quiet:
+            def contend(self, r): return None
+            def send(self, r, active): return None
+            def deliver(self, r, messages, collision): pass
+
+        sim = Simulator(spec=RadioSpec(r1=1.0, r2=1.5),
+                        use_reference_engine=True)
+        model = self._Counting(Point(0, 0), [], speed=1.0)
+        sim.add_node(Quiet(), model)
+        sim.run(10)
+        assert model.position_calls == 10
