@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Consensus as a service: a TCP client talking NDJSON to a live world.
+
+This example starts a :class:`repro.service.ConsensusService` serving a
+12-node CHA ensemble over TCP, then connects three raw-socket clients
+speaking the wire protocol by hand — no client library, just one JSON
+object per line — to show the whole session vocabulary:
+
+* ``hello`` → a ``welcome`` event with a catch-up snapshot,
+* ``propose`` → an ``ack`` naming the instance, then a ``decision``
+  event carrying the decided value and the agreement verdict,
+* a late joiner attaching mid-run and reading the recent-decision ring
+  buffer instead of replaying the past,
+* ``stats`` / ``bye``, and the ``world-complete`` farewell.
+
+Everything runs in one process for convenience, but the clients use
+only the public TCP surface: point them at any `repro-service` address
+and they work unchanged.
+
+Run:  python examples/service_client.py
+"""
+
+import asyncio
+import json
+
+from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro.experiment import MetricsSpec
+from repro.service import ConsensusService, ServiceConfig
+
+
+async def send(writer, **request):
+    """One NDJSON request line."""
+    writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+
+
+async def recv(reader, wanted=None):
+    """Next event (optionally: next event of one type)."""
+    while True:
+        event = json.loads(await reader.readline())
+        if wanted is None or event["type"] == wanted:
+            return event
+
+
+async def proposer(host, port, name, values, *, instance=None):
+    """A closed-loop client: propose, await the ack, await the verdict.
+
+    With ``instance`` the proposals target explicit slots; otherwise
+    each lands in the next instance the world has not yet begun.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    await send(writer, op="hello", client=name)
+    welcome = await recv(reader, "welcome")
+    print(f"[{name}] attached at round {welcome['round']}")
+    for offset, value in enumerate(values):
+        request = {"op": "propose", "value": value, "id": value}
+        if instance is not None:
+            request["instance"] = instance + offset
+        await send(writer, **request)
+        ack = await recv(reader, "ack")
+        while (decision := await recv(reader, "decision")) \
+                ["instance"] != ack["instance"]:
+            pass
+        print(f"[{name}] instance {ack['instance']:>2} decided "
+              f"{decision['value']!r} (agreement {decision['agreement']})")
+    await send(writer, op="stats")
+    stats = await recv(reader, "stats")
+    print(f"[{name}] accepted {stats['proposals_accepted']} proposals, "
+          f"dropped {stats['events_dropped']} events")
+    await send(writer, op="bye")
+    await recv(reader, "bye")
+    writer.close()
+    await writer.wait_closed()
+
+
+async def late_joiner(host, port):
+    """Attach mid-run: the welcome snapshot replaces replaying history."""
+    await asyncio.sleep(0.12)  # let the world decide a few instances first
+    reader, writer = await asyncio.open_connection(host, port)
+    await send(writer, op="hello", client="late")
+    welcome = await recv(reader, "welcome")
+    recent = [d["value"] for d in welcome["recent_decisions"]]
+    print(f"[late] joined at round {welcome['round']}: "
+          f"{welcome['decided_instances']} instances already decided, "
+          f"ring buffer holds {recent}")
+    farewell = await recv(reader, "world-complete")
+    print(f"[late] world complete: invariants {farewell['invariants']}")
+    writer.close()
+    await writer.wait_closed()
+
+
+async def main():
+    spec = ExperimentSpec(
+        protocol=CHA(), world=ClusterWorld(n=12),
+        workload=WorkloadSpec(instances=12),
+        metrics=MetricsSpec(metrics=("rounds",),
+                            invariants=("agreement", "validity")),
+        keep_trace=False,
+    )
+    service = ConsensusService(spec, ServiceConfig(tick_interval=0.02))
+    await service.serve_tcp()
+    host, port = service.tcp_address
+    print(f"serving {spec.world.n}-node CHA world on {host}:{port}")
+
+    clients = asyncio.gather(
+        proposer(host, port, "alice", ["apple", "apricot"]),
+        proposer(host, port, "bob", ["banana"], instance=4),
+        late_joiner(host, port),
+    )
+    world = asyncio.ensure_future(service.run_world())
+    await clients
+    result = await world
+    await service.shutdown()
+    print(f"world ran {result.metrics['rounds']} rounds; "
+          f"sessions peak {service.sessions.peak}, "
+          f"total opened {service.sessions.opened}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -27,6 +27,10 @@ A complete Python reproduction of Chockler, Gilbert & Lynch (PODC 2008):
   committed baseline.  The engine's indexed fast path is proven
   byte-identical to the reference channel by the differential suite;
   ``REPRO_REFERENCE_CHANNEL=1`` re-runs anything on the slow path.
+* :mod:`repro.service` — consensus as a service: an asyncio session
+  front-end over one live world (``python -m repro.service``), with a
+  newline-delimited-JSON wire protocol, per-session backpressure, and
+  a seeded load harness feeding the ``svc-*`` bench scenarios.
 
 Quickstart::
 
@@ -95,8 +99,8 @@ from .experiment import (
 )
 from .types import BOTTOM, Color
 from . import net, detectors, contention, core, experiment
-# Imported last: the fault layer's explorer sits on top of experiment.
-from . import faults
+# Imported last: these layers sit on top of experiment.
+from . import faults, service
 from .faults import FaultPlan
 
 __version__ = "1.1.0"
@@ -144,6 +148,7 @@ __all__ = [
     "run",
     "run_cha",
     "scenario",
+    "service",
     "sweep",
     "__version__",
 ]

@@ -36,12 +36,19 @@ from .runner import (
     run_scenario,
     write_report,
 )
-from .scenarios import ALL_SCENARIOS, QUICK_SCENARIOS, BenchScenario, scenario_by_name
+from .scenarios import (
+    ALL_SCENARIOS,
+    QUICK_SCENARIOS,
+    BenchScenario,
+    LoadScenario,
+    scenario_by_name,
+)
 
 __all__ = [
     "ALL_SCENARIOS",
     "BenchResult",
     "BenchScenario",
+    "LoadScenario",
     "DEFAULT_ABSOLUTE_TOLERANCE",
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_TOLERANCE",

@@ -115,3 +115,89 @@ def compare_absolute(current: dict, baseline: dict, *,
                 f"(floor {floor:.0f} at {tolerance:.0%} tolerance)"
             )
     return regressions, None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench.compare CURRENT BASELINE`` — gate an
+    *existing* report file against a baseline without re-running the
+    matrix.
+
+    This is the offline half of ``python -m repro.bench --compare``: the
+    nightly bench-trend job measures once, then gates the same
+    ``BENCH_results.json`` against two baselines (the committed
+    machine-independent ratio baseline and the cache-carried
+    pinned-machine absolute one) with two invocations of this command.
+    ``--absolute-only`` skips the ratio gate for the second invocation.
+    Exits 1 on regression, 2 on a missing/unreadable report.
+    """
+    import argparse
+    import sys
+
+    from .runner import load_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Gate an existing benchmark report against a baseline.",
+    )
+    parser.add_argument("current", help="BENCH_results.json to gate")
+    parser.add_argument("baseline", help="baseline report to gate against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="maximum tolerated fractional regression of the "
+                             "ratio metric (default: %(default)s)")
+    parser.add_argument("--metric", default="speedup_vs_reference",
+                        choices=("speedup_vs_reference", "rounds_per_sec"),
+                        help="ratio-gate metric (default: %(default)s)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="additionally gate absolute rounds/sec floors "
+                             "(arms only on a machine_class match)")
+    parser.add_argument("--absolute-only", action="store_true",
+                        help="gate only the absolute floors (implies "
+                             "--absolute; the nightly pinned-machine pass)")
+    parser.add_argument("--absolute-tolerance", type=float,
+                        default=DEFAULT_ABSOLUTE_TOLERANCE,
+                        help="maximum tolerated fractional rounds/sec "
+                             "regression (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    for path in (args.current, args.baseline):
+        if not Path(path).exists():
+            print(f"error: report {path} does not exist", file=sys.stderr)
+            return 2
+    current = load_report(args.current)
+    baseline = load_report(args.baseline)
+
+    regressions: list[str] = []
+    gates: list[str] = []
+    if not args.absolute_only:
+        regressions += compare_reports(
+            current, baseline, tolerance=args.tolerance, metric=args.metric)
+        gates.append(f"metric {args.metric}, tolerance {args.tolerance:.0%}")
+    if args.absolute or args.absolute_only:
+        absolute_regressions, skip_reason = compare_absolute(
+            current, baseline, tolerance=args.absolute_tolerance)
+        if skip_reason is not None:
+            print(f"absolute gate skipped: {skip_reason}")
+            if args.absolute_only:
+                # The caller asked for exactly this gate; a silent skip
+                # would look like a pass.  Still exit 0 — arming is the
+                # baseline recorder's job — but say so unmissably.
+                print("absolute-only comparison decided nothing "
+                      "(gate disarmed)")
+                return 0
+        else:
+            regressions += absolute_regressions
+            gates.append(f"absolute floors at {args.absolute_tolerance:.0%} "
+                         f"on machine class "
+                         f"{baseline.get('machine_class')!r}")
+
+    if regressions:
+        print(f"REGRESSION vs {args.baseline}:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print(f"no regression vs {args.baseline} ({'; '.join(gates)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from ..experiment import (
     DeviceSpec,
     ExperimentSpec,
     MajorityRSM,
+    MetricsSpec,
     NaiveRSM,
     TwoPhaseCHA,
     VIEmulation,
@@ -37,6 +38,8 @@ from ..experiment import (
 )
 from ..geometry import Point
 from ..net import RandomLossAdversary
+from ..service.loadgen import LoadProfile
+from ..service.server import ServiceConfig
 from ..vi.program import CounterProgram
 from ..vi.schedule import VNSite
 
@@ -66,6 +69,33 @@ class BenchScenario:
     #: stable speedup ratio.  Scenarios whose ratio sits within
     #: run-to-run noise (adversary-RNG-bound, or GC'd folds that never
     #: grow) are reported but not gated.
+    gated: bool = False
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """One named, seeded service load-test configuration.
+
+    The ``svc-*`` rows of the matrix: instead of timing a batch run,
+    these serve a world through :class:`repro.service.ConsensusService`
+    and drive it with a seeded client population
+    (:mod:`repro.service.loadgen`).  ``n`` is the *concurrent session*
+    count; the reported ``rounds``/``rounds_per_sec`` are the served
+    world's, and the service-level numbers (proposals/sec, decision
+    latency percentiles, dropped events) land in
+    :attr:`~repro.bench.runner.BenchResult.extras`.  Load scenarios are
+    never speedup-gated (there is no reference path to ratio against);
+    their trend lives in BENCH_history.jsonl like everyone else's.
+    """
+
+    name: str
+    family: str
+    #: Concurrent client sessions (the load, not the world size).
+    n: int
+    description: str
+    #: Builds fresh (spec, profile, config) per trial.
+    make_load: Callable[[], tuple[ExperimentSpec, LoadProfile, ServiceConfig]]
+    quick: bool = False
     gated: bool = False
 
 
@@ -122,10 +152,40 @@ def _vi_grid(n_sites: int, replicas_per_vn: int,
     return make
 
 
+# ----------------------------------------------------------------------
+# Served worlds (repro.service) under seeded client populations
+# ----------------------------------------------------------------------
+
+def _svc(sessions: int, pattern: str, *, n: int = 24, instances: int = 60,
+         proposals_per_session: int = 2, queue_limit: int = 1024,
+         tick_interval: float = 0.0, ramp_s: float = 0.25,
+         seed: int = 0) -> Callable[[], tuple[ExperimentSpec, LoadProfile,
+                                              ServiceConfig]]:
+    def make() -> tuple[ExperimentSpec, LoadProfile, ServiceConfig]:
+        spec = ExperimentSpec(
+            protocol=CHA(),
+            world=ClusterWorld(n=n),
+            workload=WorkloadSpec(instances=instances),
+            metrics=MetricsSpec(metrics=("rounds",),
+                                invariants=("agreement", "validity")),
+            keep_trace=False,
+        )
+        profile = LoadProfile(
+            sessions=sessions, pattern=pattern,
+            proposals_per_session=proposals_per_session,
+            ramp_s=ramp_s, seed=seed,
+        )
+        config = ServiceConfig(queue_limit=queue_limit,
+                               tick_interval=tick_interval,
+                               decision_log_limit=32)
+        return spec, profile, config
+    return make
+
+
 #: The benchmark matrix.  Round budgets are sized so each scenario runs
 #: in roughly 0.1-1 s on the fast path — long enough to time reliably,
 #: short enough that the full matrix (fast + reference) stays minutes.
-ALL_SCENARIOS: tuple[BenchScenario, ...] = (
+ALL_SCENARIOS: tuple[BenchScenario | LoadScenario, ...] = (
     BenchScenario(
         name="cha-50", family="cha", n=50, quick=True,
         description="plain CHAP, 50-node cluster, 60 instances "
@@ -195,14 +255,43 @@ ALL_SCENARIOS: tuple[BenchScenario, ...] = (
         description="VI emulation: 16-site grid, 4 replicas each",
         make_spec=_vi_grid(16, 4, virtual_rounds=30),
     ),
+    LoadScenario(
+        name="svc-smoke", family="service", n=200, quick=True,
+        description="served 24-node CHAP world, 200-session flash crowd "
+                    "(the CI service-load smoke)",
+        make_load=_svc(200, "flash"),
+    ),
+    LoadScenario(
+        name="svc-churn-500", family="service", n=500,
+        description="served 24-node CHAP world, 500 churny sessions "
+                    "(seeded reconnect after half the decisions)",
+        make_load=_svc(500, "churn", instances=80,
+                       proposals_per_session=3, seed=11),
+    ),
+    LoadScenario(
+        name="svc-ramp-500", family="service", n=500,
+        description="served 24-node CHAP world on a 2ms tick, 500 "
+                    "sessions arriving across a 150ms ramp (open-loop "
+                    "arrivals, closed-loop proposing)",
+        make_load=_svc(500, "ramp", instances=100, tick_interval=0.002,
+                       ramp_s=0.15, seed=5),
+    ),
+    LoadScenario(
+        name="svc-flash-1k", family="service", n=1000,
+        description="served 30-node CHAP world, a 1000-session flash "
+                    "crowd all attached before round 1 — the "
+                    "concurrency headliner (peak sessions == 1000)",
+        make_load=_svc(1000, "flash", n=30, instances=100,
+                       proposals_per_session=3, seed=7),
+    ),
 )
 
-QUICK_SCENARIOS: tuple[BenchScenario, ...] = tuple(
+QUICK_SCENARIOS: tuple[BenchScenario | LoadScenario, ...] = tuple(
     s for s in ALL_SCENARIOS if s.quick
 )
 
 
-def scenario_by_name(name: str) -> BenchScenario:
+def scenario_by_name(name: str) -> BenchScenario | LoadScenario:
     for scenario in ALL_SCENARIOS:
         if scenario.name == name:
             return scenario

@@ -40,5 +40,16 @@ class ScheduleError(ReproError):
     """A virtual-node broadcast schedule is incomplete or conflicting."""
 
 
+class ServiceError(ReproError):
+    """A live-service request could not be honoured.
+
+    Raised by :mod:`repro.service` for session-level failures: proposing
+    into an instance the world has already begun, exceeding the session
+    limit, or submitting to a world that has completed.  Wire transports
+    translate it into an ``error`` event rather than tearing the
+    connection down.
+    """
+
+
 class CrashedNodeError(ReproError):
     """An operation was attempted on a node that has crashed."""

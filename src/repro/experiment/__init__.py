@@ -10,7 +10,7 @@
 from .builder import ScenarioBuilder, scenario
 from .observers import WireStatsObserver
 from .result import ExperimentResult
-from .runner import run
+from .runner import ExperimentStepper, run
 from .spec import (
     CHA,
     CheckpointCHA,
@@ -38,6 +38,7 @@ __all__ = [
     "EnvironmentSpec",
     "ExperimentResult",
     "ExperimentSpec",
+    "ExperimentStepper",
     "MajorityRSM",
     "MetricsSpec",
     "NaiveRSM",

@@ -342,206 +342,374 @@ def run(spec: ExperimentSpec, *,
     first round, so callers can attach observers or timing wrappers.
     The result's :attr:`~.result.ExperimentResult.timings` carries the
     run's wall time and, where rounds exist, the rounds/sec throughput.
-    """
-    spec.validate()
-    if spec.faults is not None:
-        # Lazy import: repro.faults.explorer sits *above* this module.
-        from ..faults.compile import apply_faults
 
-        spec = apply_faults(spec)
-    protocol = spec.protocol
-    history_t0 = HISTORY_TIMER.seconds if HISTORY_TIMER.enabled else None
-    started = time.perf_counter()
-    if isinstance(protocol, ThreePhaseCommit):
+    This is a thin wrapper over :class:`ExperimentStepper` — building
+    the world and driving it to completion in one call.  Callers that
+    need to interleave their own work with the execution (the live
+    service in :mod:`repro.service` advances the world on an asyncio
+    clock) construct the stepper directly and call
+    :meth:`~ExperimentStepper.step` / :meth:`~ExperimentStepper.finish`
+    themselves; the two paths produce identical results.
+    """
+    return ExperimentStepper(spec, instrument=instrument).finish()
+
+
+class ExperimentStepper:
+    """Resumable execution of one :class:`ExperimentSpec`.
+
+    Construction builds the whole world (simulator, processes, wiring)
+    but runs nothing.  :meth:`step` then advances the execution by a
+    number of *ticks* — communication rounds for cluster protocols,
+    virtual rounds for emulations, the whole (off-channel) transaction
+    for the 3PC comparator — and :meth:`finish` runs whatever remains
+    and extracts the metrics and invariant verdicts into the same
+    :class:`~.result.ExperimentResult` a one-shot :func:`run` returns.
+    The identity suite pins stepped and one-shot executions to identical
+    results (traces, outputs, metrics, verdicts).
+
+    ``timings["wall_s"]`` accumulates only *active* execution time
+    (construction, stepping, extraction) so a stepper driven on a slow
+    external clock still reports the throughput of the engine rather
+    than of the clock.
+    """
+
+    def __init__(self, spec: ExperimentSpec, *,
+                 instrument: Instrument | None = None) -> None:
+        spec.validate()
+        if spec.faults is not None:
+            # Lazy import: repro.faults.explorer sits *above* this module.
+            from ..faults.compile import apply_faults
+
+            spec = apply_faults(spec)
+        self._history_t0 = (HISTORY_TIMER.seconds
+                            if HISTORY_TIMER.enabled else None)
+        self._active_s = 0.0
+        self._result: ExperimentResult | None = None
+        started = time.perf_counter()
+        protocol = spec.protocol
+        if isinstance(protocol, ThreePhaseCommit):
+            self._exec: _Execution = _ThreePhaseExecution(spec, instrument)
+        elif isinstance(protocol, VIEmulation):
+            self._exec = _EmulationExecution(spec, instrument)
+        else:
+            self._exec = _ClusterExecution(spec, instrument)
+        self._active_s += time.perf_counter() - started
+        self.spec = spec
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def total_ticks(self) -> int:
+        """Ticks the workload prescribes (rounds / virtual rounds / 1)."""
+        return self._exec.total_ticks
+
+    @property
+    def ticks_run(self) -> int:
+        return self._exec.ticks_run
+
+    @property
+    def remaining(self) -> int:
+        return self._exec.total_ticks - self._exec.ticks_run
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    @property
+    def simulator(self) -> Simulator | None:
+        """The live simulator (None for the off-channel comparator)."""
+        return self._exec.simulator
+
+    @property
+    def processes(self) -> dict[NodeId, Any]:
+        """The live per-node processes (empty for the comparator)."""
+        return self._exec.processes
+
+    # -- execution -----------------------------------------------------
+
+    def step(self, ticks: int = 1) -> int:
+        """Advance up to ``ticks`` ticks; returns how many actually ran
+        (fewer once the workload is exhausted)."""
+        if self._result is not None:
+            raise ConfigurationError(
+                "this stepper already finished; build a new one to re-run"
+            )
+        if ticks < 0:
+            raise ConfigurationError("ticks must be non-negative")
+        started = time.perf_counter()
+        ran = self._exec.step(ticks)
+        self._active_s += time.perf_counter() - started
+        return ran
+
+    def finish(self) -> ExperimentResult:
+        """Run any remaining ticks, extract, and return the result.
+
+        Idempotent: subsequent calls return the same result object.
+        """
+        if self._result is not None:
+            return self._result
+        started = time.perf_counter()
+        self._exec.step(self.remaining)
+        result = self._exec.finalize()
+        self._active_s += time.perf_counter() - started
+        result.timings["wall_s"] = self._active_s
+        if self._history_t0 is not None:
+            # The history-phase bucket: wall time spent folding/deriving
+            # histories, measured only when the caller armed
+            # HISTORY_TIMER (the bench runner does) so the hot path pays
+            # nothing otherwise.
+            result.timings["history_s"] = (HISTORY_TIMER.seconds
+                                           - self._history_t0)
+        if result.simulator is not None:
+            rounds = float(result.simulator.current_round)
+            result.timings["rounds"] = rounds
+            result.timings["rounds_per_sec"] = (
+                rounds / self._active_s if self._active_s > 0 else 0.0)
+        self._result = result
+        return result
+
+
+class _Execution:
+    """One protocol family's build/step/extract machinery."""
+
+    total_ticks: int
+    ticks_run: int = 0
+    simulator: Simulator | None = None
+    processes: dict[NodeId, Any] = {}
+
+    def step(self, ticks: int) -> int:
+        raise NotImplementedError
+
+    def finalize(self) -> ExperimentResult:
+        raise NotImplementedError
+
+
+class _ClusterExecution(_Execution):
+    def __init__(self, spec: ExperimentSpec,
+                 instrument: Instrument | None = None) -> None:
+        self.spec = spec
+        world: ClusterWorld = spec.world
+        env = spec.environment
+        protocol = spec.protocol
+        sim = Simulator(
+            spec=RadioSpec(r1=world.r1, r2=world.r2, rcf=world.rcf),
+            adversary=env.adversary,
+            detector=env.detector if env.detector is not None
+            else EventuallyAccurateDetector(),
+            cms={"C": env.cm if env.cm is not None
+                 else LeaderElectionCM(stable_round=0)},
+            crashes=env.crashes,
+            record_trace=spec.keep_trace,
+            use_reference_engine=spec.use_reference_engine,
+        )
+        wire = WireStatsObserver()
+        sim.add_observer(wire)
+
+        radius = (world.cluster_radius if world.cluster_radius is not None
+                  else world.r1 / 4.0)
+        positions = cluster_positions(world.n, radius=radius)
+        proposer_factory = getattr(protocol, "proposer_factory", None) or default_proposer
+
+        reference_history = spec.use_reference_history
+        processes: dict[NodeId, Any] = {}
+        for node_id, position in enumerate(positions):
+            if isinstance(protocol, CHA):
+                if protocol.process_factory is not None:
+                    # Custom factories keep their seed signature; the spec
+                    # switch only drives the built-in process classes.
+                    proc = protocol.process_factory(
+                        propose=proposer_factory(node_id), cm_name="C")
+                else:
+                    proc = CHAProcess(propose=proposer_factory(node_id),
+                                      cm_name="C",
+                                      use_reference_history=reference_history)
+                rpi = ROUNDS_PER_INSTANCE
+            elif isinstance(protocol, CheckpointCHA):
+                proc = CheckpointCHAProcess(
+                    propose=proposer_factory(node_id),
+                    reducer=protocol.reducer,
+                    initial_state=protocol.initial_state,
+                    cm_name="C",
+                    use_reference_history=reference_history,
+                )
+                rpi = ROUNDS_PER_INSTANCE
+            elif isinstance(protocol, NaiveRSM):
+                proc = NaiveRSMProcess(propose=proposer_factory(node_id),
+                                       cm_name="C",
+                                       use_reference_history=reference_history)
+                rpi = ROUNDS_PER_INSTANCE
+            elif isinstance(protocol, TwoPhaseCHA):
+                proc = TwoPhaseChaProcess(propose=proposer_factory(node_id),
+                                          use_reference_history=reference_history)
+                rpi = TWO_PHASE_ROUNDS
+            elif isinstance(protocol, MajorityRSM):
+                proc = MajorityRSMProcess(
+                    my_index=node_id, n=world.n, is_leader=node_id == 0,
+                    propose=lambda k, idx=node_id: f"m{idx}.{k:06d}",
+                )
+                rpi = world.n + 2
+            else:  # pragma: no cover - validate() rejects this earlier
+                raise ConfigurationError(f"unsupported cluster protocol {protocol!r}")
+            assigned = sim.add_node(proc, position)
+            if assigned != node_id:
+                raise SimulationError(
+                    f"simulator assigned node id {assigned}, expected {node_id}"
+                )
+            processes[assigned] = proc
+
+        rounds = (spec.workload.rounds if spec.workload.rounds is not None
+                  else spec.workload.instances * rpi)
+        if instrument is not None:
+            instrument(sim)
+        self.simulator = sim
+        self.processes = processes
+        self.wire = wire
+        self.rpi = rpi
+        self.total_ticks = rounds
+
+    def step(self, ticks: int) -> int:
+        ran = min(ticks, self.total_ticks - self.ticks_run)
+        sim = self.simulator
+        for _ in range(ran):
+            sim.step()
+        self.ticks_run += ran
+        return ran
+
+    def finalize(self) -> ExperimentResult:
+        spec, sim, processes = self.spec, self.simulator, self.processes
+        protocol, rounds = spec.protocol, self.total_ticks
+        trace = sim.trace
+        ctx = _RunContext(spec=spec, rounds_run=rounds, wire=self.wire,
+                          sim=sim, processes=processes)
+        cha_run = None
+        outputs = proposals = None
+        if not isinstance(protocol, MajorityRSM):
+            instances = (spec.workload.instances
+                         if spec.workload.instances is not None
+                         else rounds // self.rpi)
+            cha_run = ChaRun(simulator=sim, processes=processes, trace=trace,
+                             instances=instances)
+            ctx.cha_run = cha_run
+            outputs, proposals = cha_run.outputs, cha_run.proposals
+        metrics, verdicts, contexts = _extract(ctx)
+        return ExperimentResult(
+            spec=spec, metrics=metrics, invariants=verdicts,
+            violation_context=contexts,
+            outputs=outputs, proposals=proposals,
+            trace=trace if spec.keep_trace else None,
+            simulator=sim, cha_run=cha_run, processes=processes,
+        )
+
+
+class _EmulationExecution(_Execution):
+    def __init__(self, spec: ExperimentSpec,
+                 instrument: Instrument | None = None) -> None:
+        self.spec = spec
+        world_spec: DeployedWorld = spec.world
+        protocol: VIEmulation = spec.protocol
+        env = spec.environment
+        world = VIWorld(
+            list(world_spec.sites), dict(protocol.programs),
+            r1=world_spec.r1, r2=world_spec.r2, rcf=world_spec.rcf,
+            adversary=env.adversary, detector=env.detector,
+            crashes=env.crashes,
+            cm_stable_round=world_spec.cm_stable_round,
+            min_schedule_length=world_spec.min_schedule_length,
+            schedule=world_spec.schedule,
+            use_reference_history=spec.use_reference_history,
+            use_reference_engine=spec.use_reference_engine,
+        )
+        world.sim.record_trace = spec.keep_trace
+        wire = WireStatsObserver()
+        world.sim.add_observer(wire)
+
+        clients: dict[NodeId, Any] = {}
+        named: dict[str, Any] = {}
+        for device in world_spec.devices:
+            node_id = world.add_device(
+                device.mobility, client=device.client,
+                start_round=device.start_round,
+                initially_active=device.initially_active,
+            )
+            if device.client is not None:
+                clients[node_id] = device.client
+                if device.name is not None:
+                    named[device.name] = device.client
+
+        if instrument is not None:
+            instrument(world.sim)
+        self.world = world
+        self.wire = wire
+        self.clients = clients
+        self.named = named
+        self.simulator = world.sim
+        self.processes = dict(world.devices)
+        self.total_ticks = spec.workload.virtual_rounds
+
+    def step(self, ticks: int) -> int:
+        ran = min(ticks, self.total_ticks - self.ticks_run)
+        if ran:
+            self.world.run_virtual_rounds(ran)
+        self.ticks_run += ran
+        return ran
+
+    def finalize(self) -> ExperimentResult:
+        spec, world = self.spec, self.world
+        # Device membership can grow mid-run (joins); re-read it here.
+        self.processes = dict(world.devices)
+        ctx = _RunContext(spec=spec, rounds_run=world.sim.current_round,
+                          wire=self.wire, sim=world.sim, world=world,
+                          processes=dict(world.devices))
+        metrics, verdicts, contexts = _extract(ctx)
+        return ExperimentResult(
+            spec=spec, metrics=metrics, invariants=verdicts,
+            violation_context=contexts,
+            trace=world.sim.trace if spec.keep_trace else None,
+            simulator=world.sim, world=world,
+            processes=dict(world.devices),
+            clients=self.clients, named_clients=self.named,
+        )
+
+
+class _ThreePhaseExecution(_Execution):
+    #: The whole off-channel transaction is one tick.
+    total_ticks = 1
+
+    def __init__(self, spec: ExperimentSpec,
+                 instrument: Instrument | None = None) -> None:
         if instrument is not None:
             raise ConfigurationError(
                 "the 3PC comparator runs off-channel: there is no "
                 "simulator to instrument"
             )
-        result = _run_three_phase_commit(spec)
-    elif isinstance(protocol, VIEmulation):
-        result = _run_emulation(spec, instrument)
-    else:
-        result = _run_cluster(spec, instrument)
-    wall = time.perf_counter() - started
-    result.timings["wall_s"] = wall
-    if history_t0 is not None:
-        # The history-phase bucket: wall time spent folding/deriving
-        # histories, measured only when the caller armed HISTORY_TIMER
-        # (the bench runner does) so the hot path pays nothing otherwise.
-        result.timings["history_s"] = HISTORY_TIMER.seconds - history_t0
-    if result.simulator is not None:
-        rounds = float(result.simulator.current_round)
-        result.timings["rounds"] = rounds
-        result.timings["rounds_per_sec"] = rounds / wall if wall > 0 else 0.0
-    return result
-
-
-def _run_cluster(spec: ExperimentSpec,
-                 instrument: Instrument | None = None) -> ExperimentResult:
-    world: ClusterWorld = spec.world
-    env = spec.environment
-    protocol = spec.protocol
-    sim = Simulator(
-        spec=RadioSpec(r1=world.r1, r2=world.r2, rcf=world.rcf),
-        adversary=env.adversary,
-        detector=env.detector if env.detector is not None
-        else EventuallyAccurateDetector(),
-        cms={"C": env.cm if env.cm is not None
-             else LeaderElectionCM(stable_round=0)},
-        crashes=env.crashes,
-        record_trace=spec.keep_trace,
-        use_reference_engine=spec.use_reference_engine,
-    )
-    wire = WireStatsObserver()
-    sim.add_observer(wire)
-
-    radius = (world.cluster_radius if world.cluster_radius is not None
-              else world.r1 / 4.0)
-    positions = cluster_positions(world.n, radius=radius)
-    proposer_factory = getattr(protocol, "proposer_factory", None) or default_proposer
-
-    reference_history = spec.use_reference_history
-    processes: dict[NodeId, Any] = {}
-    for node_id, position in enumerate(positions):
-        if isinstance(protocol, CHA):
-            if protocol.process_factory is not None:
-                # Custom factories keep their seed signature; the spec
-                # switch only drives the built-in process classes.
-                proc = protocol.process_factory(
-                    propose=proposer_factory(node_id), cm_name="C")
-            else:
-                proc = CHAProcess(propose=proposer_factory(node_id),
-                                  cm_name="C",
-                                  use_reference_history=reference_history)
-            rpi = ROUNDS_PER_INSTANCE
-        elif isinstance(protocol, CheckpointCHA):
-            proc = CheckpointCHAProcess(
-                propose=proposer_factory(node_id),
-                reducer=protocol.reducer,
-                initial_state=protocol.initial_state,
-                cm_name="C",
-                use_reference_history=reference_history,
-            )
-            rpi = ROUNDS_PER_INSTANCE
-        elif isinstance(protocol, NaiveRSM):
-            proc = NaiveRSMProcess(propose=proposer_factory(node_id),
-                                   cm_name="C",
-                                   use_reference_history=reference_history)
-            rpi = ROUNDS_PER_INSTANCE
-        elif isinstance(protocol, TwoPhaseCHA):
-            proc = TwoPhaseChaProcess(propose=proposer_factory(node_id),
-                                      use_reference_history=reference_history)
-            rpi = TWO_PHASE_ROUNDS
-        elif isinstance(protocol, MajorityRSM):
-            proc = MajorityRSMProcess(
-                my_index=node_id, n=world.n, is_leader=node_id == 0,
-                propose=lambda k, idx=node_id: f"m{idx}.{k:06d}",
-            )
-            rpi = world.n + 2
-        else:  # pragma: no cover - validate() rejects this earlier
-            raise ConfigurationError(f"unsupported cluster protocol {protocol!r}")
-        assigned = sim.add_node(proc, position)
-        if assigned != node_id:
-            raise SimulationError(
-                f"simulator assigned node id {assigned}, expected {node_id}"
-            )
-        processes[assigned] = proc
-
-    rounds = (spec.workload.rounds if spec.workload.rounds is not None
-              else spec.workload.instances * rpi)
-    if instrument is not None:
-        instrument(sim)
-    trace = sim.run(rounds)
-
-    ctx = _RunContext(spec=spec, rounds_run=rounds, wire=wire, sim=sim,
-                      processes=processes)
-    cha_run = None
-    outputs = proposals = None
-    if not isinstance(protocol, MajorityRSM):
-        instances = (spec.workload.instances
-                     if spec.workload.instances is not None
-                     else rounds // rpi)
-        cha_run = ChaRun(simulator=sim, processes=processes, trace=trace,
-                         instances=instances)
-        ctx.cha_run = cha_run
-        outputs, proposals = cha_run.outputs, cha_run.proposals
-    metrics, verdicts, contexts = _extract(ctx)
-    return ExperimentResult(
-        spec=spec, metrics=metrics, invariants=verdicts,
-        violation_context=contexts,
-        outputs=outputs, proposals=proposals,
-        trace=trace if spec.keep_trace else None,
-        simulator=sim, cha_run=cha_run, processes=processes,
-    )
-
-
-def _run_emulation(spec: ExperimentSpec,
-                   instrument: Instrument | None = None) -> ExperimentResult:
-    world_spec: DeployedWorld = spec.world
-    protocol: VIEmulation = spec.protocol
-    env = spec.environment
-    world = VIWorld(
-        list(world_spec.sites), dict(protocol.programs),
-        r1=world_spec.r1, r2=world_spec.r2, rcf=world_spec.rcf,
-        adversary=env.adversary, detector=env.detector, crashes=env.crashes,
-        cm_stable_round=world_spec.cm_stable_round,
-        min_schedule_length=world_spec.min_schedule_length,
-        schedule=world_spec.schedule,
-        use_reference_history=spec.use_reference_history,
-        use_reference_engine=spec.use_reference_engine,
-    )
-    world.sim.record_trace = spec.keep_trace
-    wire = WireStatsObserver()
-    world.sim.add_observer(wire)
-
-    clients: dict[NodeId, Any] = {}
-    named: dict[str, Any] = {}
-    for device in world_spec.devices:
-        node_id = world.add_device(
-            device.mobility, client=device.client,
-            start_round=device.start_round,
-            initially_active=device.initially_active,
+        self.spec = spec
+        protocol: ThreePhaseCommit = spec.protocol
+        self.participants = [
+            Participant(pid=i, vote_yes=vote)
+            for i, vote in enumerate(protocol.votes)
+        ]
+        self.txn = ThreePhaseCommitTxn(
+            self.participants,
+            lossy=protocol.lossy,
+            crash_coordinator_after=protocol.crash_coordinator_after,
         )
-        if device.client is not None:
-            clients[node_id] = device.client
-            if device.name is not None:
-                named[device.name] = device.client
+        self.decision = None
 
-    if instrument is not None:
-        instrument(world.sim)
-    world.run_virtual_rounds(spec.workload.virtual_rounds)
+    def step(self, ticks: int) -> int:
+        ran = min(ticks, self.total_ticks - self.ticks_run)
+        if ran:
+            self.decision = self.txn.run()
+        self.ticks_run += ran
+        return ran
 
-    ctx = _RunContext(spec=spec, rounds_run=world.sim.current_round,
-                      wire=wire, sim=world.sim, world=world,
-                      processes=dict(world.devices))
-    metrics, verdicts, contexts = _extract(ctx)
-    return ExperimentResult(
-        spec=spec, metrics=metrics, invariants=verdicts,
-        violation_context=contexts,
-        trace=world.sim.trace if spec.keep_trace else None,
-        simulator=world.sim, world=world, processes=dict(world.devices),
-        clients=clients, named_clients=named,
-    )
-
-
-def _run_three_phase_commit(spec: ExperimentSpec) -> ExperimentResult:
-    protocol: ThreePhaseCommit = spec.protocol
-    participants = [
-        Participant(pid=i, vote_yes=vote)
-        for i, vote in enumerate(protocol.votes)
-    ]
-    txn = ThreePhaseCommitTxn(
-        participants,
-        lossy=protocol.lossy,
-        crash_coordinator_after=protocol.crash_coordinator_after,
-    )
-    decision = txn.run()
-    ctx = _RunContext(spec=spec, decision=decision, participants=participants,
-                      txn_log=tuple(txn.log))
-    metrics, verdicts, contexts = _extract(ctx)
-    return ExperimentResult(
-        spec=spec, metrics=metrics, invariants=verdicts,
-        violation_context=contexts,
-        decision=decision, participants=participants,
-    )
+    def finalize(self) -> ExperimentResult:
+        spec = self.spec
+        ctx = _RunContext(spec=spec, decision=self.decision,
+                          participants=self.participants,
+                          txn_log=tuple(self.txn.log))
+        metrics, verdicts, contexts = _extract(ctx)
+        return ExperimentResult(
+            spec=spec, metrics=metrics, invariants=verdicts,
+            violation_context=contexts,
+            decision=self.decision, participants=self.participants,
+        )

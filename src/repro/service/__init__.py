@@ -1,0 +1,73 @@
+"""repro.service — consensus as a service over one live world.
+
+The batch layer (:func:`repro.run`) answers "what does this world do?";
+this package answers "what happens when many concurrent clients talk to
+it *while it runs*?".  A :class:`ConsensusService` owns one
+:class:`~repro.experiment.runner.ExperimentStepper` advanced on an
+asyncio clock (:class:`~.driver.WorldDriver`); clients open sessions,
+submit proposals into upcoming instances, and stream per-instance
+``decision`` events carrying live agreement verdicts — over TCP
+(newline-delimited JSON, :mod:`~.events`) or in-process
+(:class:`InProcessClient`, what the tests and the load harness use).
+
+Determinism is the design invariant: client traffic only lands
+proposals in the :class:`~.driver.ProposalLedger` before each instance
+freezes, so the same spec plus the same accepted proposal schedule
+reproduces the batch run byte for byte — sessions attaching, detaching,
+or lagging never perturb the world.  The differential suite pins this.
+
+Backpressure is per-session: every session has a bounded event queue;
+a slow consumer loses its *oldest* events (visible as a ``seq`` gap and
+a drop counter) while the world clock never blocks.
+
+Usage::
+
+    python -m repro.service --nodes 24 --instances 200   # serve over TCP
+
+    svc = ConsensusService(spec)
+    client = svc.connect()
+    client.propose("value-1")
+    await svc.run_world()
+
+:mod:`~.loadgen` drives seeded client populations (flash-crowd, ramp,
+churny-reconnect) against an in-process service; the ``svc-*`` scenarios
+in :mod:`repro.bench` report its proposals/sec and decision-latency
+percentiles alongside the engine benchmarks.
+"""
+
+from .driver import EventBus, ProposalLedger, SessionQueue, WorldDriver
+from .events import (
+    MAX_LINE_BYTES,
+    WIRE_SCHEMA,
+    WireError,
+    decode_event,
+    encode_event,
+    parse_request,
+    validate_request,
+)
+from .loadgen import LoadProfile, percentiles, run_load, run_load_sync
+from .server import ConsensusService, InProcessClient, ServiceConfig
+from .session import Session, SessionManager
+
+__all__ = [
+    "ConsensusService",
+    "EventBus",
+    "InProcessClient",
+    "LoadProfile",
+    "MAX_LINE_BYTES",
+    "ProposalLedger",
+    "ServiceConfig",
+    "Session",
+    "SessionManager",
+    "SessionQueue",
+    "WIRE_SCHEMA",
+    "WireError",
+    "WorldDriver",
+    "decode_event",
+    "encode_event",
+    "parse_request",
+    "percentiles",
+    "run_load",
+    "run_load_sync",
+    "validate_request",
+]

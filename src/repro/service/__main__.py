@@ -1,0 +1,145 @@
+"""``python -m repro.service`` — serve one live world over TCP.
+
+Builds a CHA-family cluster world from CLI flags, serves it on the
+NDJSON wire protocol, releases the world clock, and exits once the
+workload completes and the sessions have drained.  ``--describe``
+validates the configuration and prints it as JSON without opening a
+socket or running a round — the CI console-script smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from ..core.cha import ROUNDS_PER_INSTANCE
+from ..experiment.spec import (
+    CHA,
+    ClusterWorld,
+    ExperimentSpec,
+    NaiveRSM,
+    TwoPhaseCHA,
+    WorkloadSpec,
+)
+from .server import ConsensusService, ServiceConfig
+
+_PROTOCOLS = {
+    "cha": CHA,
+    "two-phase-cha": TwoPhaseCHA,
+    "naive-rsm": NaiveRSM,
+}
+
+
+def build_spec(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol=_PROTOCOLS[args.protocol](),
+        world=ClusterWorld(n=args.nodes, rcf=args.rcf),
+        workload=WorkloadSpec(instances=args.instances),
+        # A long-running served world must not accumulate an unbounded
+        # trace; the differential suite builds its own traced specs.
+        keep_trace=False,
+    )
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        tick_interval=args.tick_interval,
+        rounds_per_tick=args.rounds_per_tick,
+        queue_limit=args.queue_limit,
+        max_sessions=args.max_sessions,
+    )
+
+
+async def _serve(spec: ExperimentSpec, config: ServiceConfig) -> dict:
+    service = ConsensusService(spec, config)
+    server = await service.serve_tcp()
+    host, port = service.tcp_address
+    print(f"repro.service: serving {spec.world.n}-node "
+          f"{type(spec.protocol).__name__} world on {host}:{port} "
+          f"(tick={config.tick_interval}s x {config.rounds_per_tick} rounds)")
+    result = await service.run_world()
+    totals = service.sessions.totals()
+    await service.shutdown("world complete")
+    server.close()
+    return {
+        "rounds": int(result.timings.get("rounds", 0)),
+        "decisions": service.driver.decisions_published,
+        "invariants": dict(result.invariants),
+        "sessions": totals,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a live consensus world over newline-delimited "
+                    "JSON (see README: 'Serving a live world').",
+    )
+    parser.add_argument("--protocol", choices=sorted(_PROTOCOLS),
+                        default="cha",
+                        help="protocol family to serve (default: %(default)s)")
+    parser.add_argument("--nodes", type=int, default=24,
+                        help="cluster size (default: %(default)s)")
+    parser.add_argument("--instances", type=int, default=1000,
+                        help="consensus instances the world runs before "
+                             "completing (default: %(default)s)")
+    parser.add_argument("--rcf", type=int, default=0,
+                        help="contention-stabilisation round (default: 0)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = ephemeral, printed "
+                             "at startup)")
+    parser.add_argument("--tick-interval", type=float, default=0.05,
+                        help="seconds of real time per world tick "
+                             "(default: %(default)s; 0 runs flat out)")
+    parser.add_argument("--rounds-per-tick", type=int,
+                        default=ROUNDS_PER_INSTANCE,
+                        help="communication rounds advanced per tick "
+                             "(default: %(default)s = one CHA instance)")
+    parser.add_argument("--queue-limit", type=int, default=1024,
+                        help="per-session event queue bound; a slower "
+                             "consumer drops oldest events "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-sessions", type=int, default=10_000,
+                        help="concurrent session cap (default: %(default)s)")
+    parser.add_argument("--describe", action="store_true",
+                        help="validate the configuration, print it as "
+                             "JSON, and exit without serving")
+    args = parser.parse_args(argv)
+
+    spec = build_spec(args)
+    spec.validate()
+    config = build_config(args)
+    if args.describe:
+        print(json.dumps({
+            "protocol": args.protocol,
+            "world": {"n": args.nodes, "rcf": args.rcf},
+            "workload": {"instances": args.instances},
+            "service": {
+                "host": config.host, "port": config.port,
+                "tick_interval": config.tick_interval,
+                "rounds_per_tick": config.rounds_per_tick,
+                "queue_limit": config.queue_limit,
+                "max_sessions": config.max_sessions,
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+
+    summary = _run(spec, config)
+    print(f"repro.service: world complete after {summary['rounds']} rounds, "
+          f"{summary['decisions']} decisions; "
+          f"served {summary['sessions']['opened']} session(s) "
+          f"(peak {summary['sessions']['peak']}), invariants "
+          f"{summary['invariants']}")
+    return 0
+
+
+def _run(spec: ExperimentSpec, config: ServiceConfig) -> dict:
+    return asyncio.run(_serve(spec, config))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""The world driver: one live experiment on an asyncio clock.
+
+Three pieces, composed by :class:`~repro.service.server.ConsensusService`:
+
+* :class:`ProposalLedger` — the determinism seam.  Client proposals land
+  in a per-instance assignment table *before* the world begins that
+  instance (the watermark freezes exactly when the protocol's
+  ``begin_instance`` pulls the proposal), and the accepted schedule can
+  be replayed through :meth:`ProposalLedger.scripted` as a plain
+  ``proposer_factory`` — which is how the differential suite proves a
+  served world and a batch :func:`repro.run` are byte-identical.
+* :class:`EventBus` / :class:`SessionQueue` — per-session bounded fan-out
+  with a drop-oldest slow-consumer policy.  Events are stamped with a
+  per-session ``seq`` at enqueue, so consumers detect drops as gaps.
+* :class:`WorldDriver` — owns an :class:`~repro.experiment.runner.ExperimentStepper`
+  and advances it ``rounds_per_tick`` rounds per tick, harvesting newly
+  decided instances into ``decision`` events (each carrying a live
+  agreement verdict from :func:`repro.core.spec.check_agreement`).
+
+The driver's :meth:`~WorldDriver.tick` is synchronous: a tick runs
+between awaits, so sessions never observe — or perturb — a half-stepped
+world.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from ..core.cha import ROUNDS_PER_INSTANCE
+from ..core.runner import default_proposer
+from ..core.spec import check_agreement
+from ..errors import ConfigurationError, ServiceError, SpecViolation
+from ..experiment.result import OK, ExperimentResult
+from ..experiment.runner import ExperimentStepper, Instrument
+from ..experiment.spec import CHA, ExperimentSpec, NaiveRSM, TwoPhaseCHA
+from ..types import BOTTOM, NodeId
+
+Value = Any
+Instance = int
+
+#: ``(instance, node, value)`` rows; ``node is None`` means "any node
+#: without its own assignment proposes this value".
+Schedule = tuple[tuple[Instance, NodeId | None, Value], ...]
+
+
+class ProposalLedger:
+    """Accepted client proposals, frozen instance by instance.
+
+    The ledger's :meth:`proposer` closures are what the protocol
+    processes call: the first ``propose(k)`` of a round advances the
+    freeze watermark to ``k``, after which :meth:`submit` rejects
+    proposals for ``k`` (they can no longer take effect, and silently
+    accepting them would make the accepted schedule unreplayable).
+    Within an instance, assignment is last-writer-wins per ``(instance,
+    node)`` slot; nodes without an assignment fall back to the
+    ``node=None`` wildcard slot, then to the default proposer.
+    """
+
+    def __init__(self, default: Callable[[NodeId], Callable[[Instance], Value]]
+                 = default_proposer) -> None:
+        self._default = default
+        self._assignments: dict[Instance, dict[NodeId | None, Value]] = {}
+        self._accepted: list[tuple[Instance, NodeId | None, Value]] = []
+        self.frozen_through: Instance = 0
+
+    @property
+    def next_open(self) -> Instance:
+        """The lowest instance still accepting proposals."""
+        return self.frozen_through + 1
+
+    @property
+    def accepted_count(self) -> int:
+        return len(self._accepted)
+
+    def submit(self, value: Value, *, instance: Instance | None = None,
+               node: NodeId | None = None) -> Instance:
+        """Record one proposal; returns the instance it landed in."""
+        if instance is None:
+            instance = self.next_open
+        if instance <= self.frozen_through:
+            raise ServiceError(
+                f"instance {instance} is frozen: the world already began "
+                f"it (proposals are open from {self.next_open})"
+            )
+        self._assignments.setdefault(instance, {})[node] = value
+        self._accepted.append((instance, node, value))
+        return instance
+
+    def schedule(self) -> Schedule:
+        """The accepted proposals, in arrival order (replayable)."""
+        return tuple(self._accepted)
+
+    def proposer(self, node: NodeId) -> Callable[[Instance], Value]:
+        default = self._default(node)
+
+        def propose(k: Instance) -> Value:
+            if k > self.frozen_through:
+                self.frozen_through = k
+            slot = self._assignments.get(k)
+            if slot is not None:
+                if node in slot:
+                    return slot[node]
+                if None in slot:
+                    return slot[None]
+            return default(k)
+
+        return propose
+
+    @classmethod
+    def scripted(cls, schedule: Iterable[tuple[Instance, NodeId | None, Value]],
+                 default: Callable[[NodeId], Callable[[Instance], Value]]
+                 = default_proposer) -> Callable[[NodeId], Callable[[Instance], Value]]:
+        """A ``proposer_factory`` replaying an accepted schedule.
+
+        ``ProposalLedger.scripted(driver.ledger.schedule())`` plugged
+        into ``spec.override(protocol__proposer_factory=...)`` makes a
+        batch :func:`repro.run` propose exactly what the served world's
+        clients did.
+        """
+        ledger = cls(default)
+        for instance, node, value in schedule:
+            ledger._assignments.setdefault(instance, {})[node] = value
+        return ledger.proposer
+
+
+class SessionQueue:
+    """One session's bounded event queue (drop-oldest when full).
+
+    ``put`` is synchronous and never blocks the publisher: a full queue
+    evicts its oldest event and bumps :attr:`dropped` — the slow
+    consumer, not the world clock, pays.  Every event is stamped with a
+    monotonically increasing per-session ``seq`` at enqueue, so a
+    consumer that sees ``seq`` jump knows exactly how many events it
+    lost.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError("session queue limit must be >= 1")
+        self.limit = limit
+        self._items: deque[dict] = deque()
+        self._wakeup = asyncio.Event()
+        self.seq = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, event: dict) -> None:
+        stamped = dict(event)
+        stamped["seq"] = self.seq
+        self.seq += 1
+        if len(self._items) >= self.limit:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(stamped)
+        self._wakeup.set()
+
+    def get_nowait(self) -> dict | None:
+        if not self._items:
+            return None
+        self.delivered += 1
+        return self._items.popleft()
+
+    async def get(self) -> dict:
+        while not self._items:
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        self.delivered += 1
+        return self._items.popleft()
+
+
+class EventBus:
+    """Fan-out of world events to per-session queues."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, SessionQueue] = {}
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._queues)
+
+    def subscribe(self, session_id: str, limit: int) -> SessionQueue:
+        if session_id in self._queues:
+            raise ServiceError(f"session {session_id!r} already subscribed")
+        queue = SessionQueue(limit)
+        self._queues[session_id] = queue
+        return queue
+
+    def unsubscribe(self, session_id: str) -> None:
+        self._queues.pop(session_id, None)
+
+    def publish(self, event: dict) -> None:
+        for queue in self._queues.values():
+            queue.put(event)
+
+
+class WorldDriver:
+    """Advance one live world on an asyncio clock, publishing decisions.
+
+    Construction builds the world paused — nothing runs until
+    :meth:`tick` (or the :meth:`run` clock coroutine) does, so sessions
+    attached before the first tick observe the run from round zero.
+    ``rounds_per_tick`` and the accepted proposal schedule fully
+    determine the event stream; the wall clock only decides *when* ticks
+    happen, never *what* they compute.
+    """
+
+    #: Protocols the service can drive: the full-history cluster family,
+    #: whose outputs are ``(instance, History | BOTTOM)`` rows.
+    SERVABLE = (CHA, NaiveRSM, TwoPhaseCHA)
+
+    def __init__(self, spec: ExperimentSpec, *,
+                 rounds_per_tick: int = ROUNDS_PER_INSTANCE,
+                 tick_interval: float = 0.0,
+                 decision_log_limit: int = 256,
+                 instrument: Instrument | None = None) -> None:
+        if not isinstance(spec.protocol, self.SERVABLE):
+            raise ConfigurationError(
+                f"the service drives {[c.__name__ for c in self.SERVABLE]} "
+                f"worlds; got {type(spec.protocol).__name__}"
+            )
+        if rounds_per_tick < 1:
+            raise ConfigurationError("rounds_per_tick must be >= 1")
+        self.ledger = ProposalLedger(
+            getattr(spec.protocol, "proposer_factory", None) or default_proposer
+        )
+        spec = spec.override(protocol__proposer_factory=self.ledger.proposer)
+        self.spec = spec
+        self.rounds_per_tick = rounds_per_tick
+        self.tick_interval = tick_interval
+        self.stepper = ExperimentStepper(spec, instrument=instrument)
+        self.bus = EventBus()
+        self.result: ExperimentResult | None = None
+        self.decisions_published = 0
+        self._decision_log: deque[dict] = deque(maxlen=decision_log_limit)
+        self._harvested = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def nodes(self) -> int:
+        return len(self.stepper.processes)
+
+    @property
+    def current_round(self) -> int:
+        return self.stepper.simulator.current_round
+
+    @property
+    def complete(self) -> bool:
+        return self.result is not None
+
+    def snapshot(self) -> dict:
+        """The catch-up view a newly attached session receives."""
+        return {
+            "round": self.current_round,
+            "nodes": self.nodes,
+            "next_instance": self.ledger.next_open,
+            "decided_instances": self.decisions_published,
+            "recent_decisions": list(self._decision_log),
+            "complete": self.complete,
+        }
+
+    # -- proposals -----------------------------------------------------
+
+    def submit(self, value: Value, *, instance: Instance | None = None,
+               node: NodeId | None = None) -> Instance:
+        if self.complete:
+            raise ServiceError("the world has completed; no further "
+                               "instances will run")
+        if node is not None and node >= self.nodes:
+            raise ServiceError(
+                f"node {node} does not exist (world has {self.nodes} nodes)"
+            )
+        return self.ledger.submit(value, instance=instance, node=node)
+
+    # -- the clock -----------------------------------------------------
+
+    def tick(self) -> list[dict]:
+        """Advance one tick; publish and return the new decision events.
+
+        Synchronous — runs between awaits, so no session interleaves
+        with a half-stepped world.
+        """
+        if self.complete:
+            return []
+        self.stepper.step(self.rounds_per_tick)
+        events = self._harvest()
+        for event in events:
+            self.bus.publish(event)
+        if self.stepper.remaining == 0:
+            events.append(self._finalize())
+        return events
+
+    async def run(self) -> ExperimentResult:
+        """Tick until the workload is exhausted.
+
+        ``tick_interval`` is the real-time pacing; zero yields to the
+        loop between ticks but otherwise runs flat out.
+        """
+        while not self.complete:
+            if self.tick_interval > 0:
+                await asyncio.sleep(self.tick_interval)
+            else:
+                await asyncio.sleep(0)
+            self.tick()
+        assert self.result is not None
+        return self.result
+
+    # -- harvesting ----------------------------------------------------
+
+    def _harvest(self) -> list[dict]:
+        logs = {node: proc.outputs
+                for node, proc in self.stepper.processes.items()}
+        ready = min((len(log) for log in logs.values()), default=0)
+        events = []
+        for idx in range(self._harvested, ready):
+            per_node = {node: log[idx] for node, log in logs.items()}
+            instance = next(iter(per_node.values()))[0]
+            decided = {node: out for node, (_, out) in per_node.items()
+                       if out is not BOTTOM}
+            value = None
+            if decided:
+                value = decided[min(decided)](instance)
+            try:
+                check_agreement({node: [entry]
+                                 for node, entry in per_node.items()},
+                                use_reference=self.spec.use_reference_history)
+            except SpecViolation as exc:
+                verdict = f"violated: {exc}"
+            else:
+                verdict = OK
+            events.append({
+                "type": "decision",
+                "instance": instance,
+                "round": self.current_round,
+                "value": value,
+                "decided": len(decided),
+                "bottom": len(per_node) - len(decided),
+                "agreement": verdict,
+            })
+        if events:
+            self._harvested = ready
+            self._decision_log.extend(events)
+            self.decisions_published += len(events)
+        return events
+
+    def _finalize(self) -> dict:
+        self.result = self.stepper.finish()
+        event = {
+            "type": "world-complete",
+            "round": self.current_round,
+            "instances": self._harvested,
+            "decisions": self.decisions_published,
+            "invariants": dict(self.result.invariants),
+        }
+        self.bus.publish(event)
+        return event

@@ -1,0 +1,160 @@
+"""The service wire schema: newline-delimited JSON, both directions.
+
+Requests travel client → service as one JSON object per line carrying an
+``op`` field; events travel service → client as one JSON object per line
+carrying a ``type`` field and a per-session ``seq`` stamped at enqueue
+time (so a gap in ``seq`` is the documented signal that the slow-consumer
+drop policy fired).  Encoding is canonical — sorted keys, compact
+separators — so byte-level comparisons of event streams are meaningful
+in tests.
+
+Validation happens here, once, for every transport: the TCP server calls
+:func:`parse_request` on raw lines, the in-process client calls
+:func:`validate_request` on dicts, and both reject malformed input with
+:class:`WireError` before it reaches the session layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from ..errors import ReproError
+
+#: Wire-format version, echoed in every ``welcome`` event.
+WIRE_SCHEMA = 1
+
+#: Hard per-line ceiling; a client shipping more is torn down, not parsed.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class WireError(ReproError):
+    """A request line failed JSON decoding or schema validation."""
+
+
+# ----------------------------------------------------------------------
+# Requests (client -> service)
+# ----------------------------------------------------------------------
+
+def _require(obj: dict, field_name: str, kind: type, *,
+             optional: bool = False) -> Any:
+    value = obj.get(field_name)
+    if value is None:
+        if optional:
+            return None
+        raise WireError(f"{obj['op']!r} request needs a {field_name!r} field")
+    # bool is an int subclass; an instance check alone would let
+    # ``"instance": true`` through.
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise WireError(
+            f"{obj['op']!r} request field {field_name!r} must be "
+            f"{kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _validate_hello(obj: dict) -> None:
+    _require(obj, "client", str, optional=True)
+
+
+def _validate_propose(obj: dict) -> None:
+    _require(obj, "value", str)
+    instance = _require(obj, "instance", int, optional=True)
+    if instance is not None and instance < 1:
+        raise WireError("'propose' instance must be >= 1 (instances are "
+                        "1-based; omit it to target the next open one)")
+    node = _require(obj, "node", int, optional=True)
+    if node is not None and node < 0:
+        raise WireError("'propose' node must be a non-negative node id")
+    _require(obj, "id", str, optional=True)
+
+
+def _validate_trivial(obj: dict) -> None:
+    pass
+
+
+_VALIDATORS: dict[str, Callable[[dict], None]] = {
+    "hello": _validate_hello,
+    "propose": _validate_propose,
+    "ping": _validate_trivial,
+    "stats": _validate_trivial,
+    "bye": _validate_trivial,
+}
+
+
+def validate_request(obj: Any) -> dict:
+    """Validate an already-decoded request object; returns it."""
+    if not isinstance(obj, dict):
+        raise WireError("request must be a JSON object")
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in _VALIDATORS:
+        raise WireError(
+            f"unknown op {op!r}; known ops: {sorted(_VALIDATORS)}"
+        )
+    _VALIDATORS[op](obj)
+    return obj
+
+
+def parse_request(line: bytes | str) -> dict:
+    """Decode and validate one request line."""
+    if len(line) > MAX_LINE_BYTES:
+        raise WireError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"request is not valid JSON: {exc}") from None
+    return validate_request(obj)
+
+
+# ----------------------------------------------------------------------
+# Events (service -> client)
+# ----------------------------------------------------------------------
+
+def encode_event(event: dict) -> bytes:
+    """Canonical NDJSON encoding of one event."""
+    return (json.dumps(event, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_event(line: bytes | str) -> dict:
+    obj = json.loads(line)
+    if not isinstance(obj, dict) or not isinstance(obj.get("type"), str):
+        raise WireError("event must be a JSON object with a 'type' field")
+    return obj
+
+
+def welcome_event(*, session: str, snapshot: dict) -> dict:
+    return {"type": "welcome", "schema": WIRE_SCHEMA, "session": session,
+            **snapshot}
+
+
+def ack_event(*, instance: int, request_id: str | None = None) -> dict:
+    event = {"type": "ack", "instance": instance}
+    if request_id is not None:
+        event["id"] = request_id
+    return event
+
+
+def error_event(reason: str, *, request_id: str | None = None) -> dict:
+    event = {"type": "error", "reason": reason}
+    if request_id is not None:
+        event["id"] = request_id
+    return event
+
+
+def pong_event(*, round_: int) -> dict:
+    return {"type": "pong", "round": round_}
+
+
+def stats_event(stats: dict) -> dict:
+    return {"type": "stats", **stats}
+
+
+def bye_event() -> dict:
+    return {"type": "bye"}
+
+
+def shutdown_event(reason: str) -> dict:
+    return {"type": "shutdown", "reason": reason}

@@ -1,0 +1,218 @@
+"""Seeded load harness for the consensus service.
+
+Drives one in-process :class:`~.server.ConsensusService` with a
+population of closed-loop clients (each proposes, waits for its ack and
+the decision of the acked instance, then proposes again) shaped by a
+:class:`LoadProfile`:
+
+* ``flash`` — every client attaches at once (flash crowd);
+* ``ramp`` — arrivals staggered across :attr:`LoadProfile.ramp_s`;
+* ``churn`` — flash attach, but after each observed decision a client
+  may disconnect and reconnect as a brand-new session (seeded RNG).
+
+The world itself stays deterministic — client traffic only lands
+proposals in the :class:`~.driver.ProposalLedger` — while the *measured*
+numbers (proposals/sec, decision-latency percentiles, dropped events)
+characterise the front end under concurrency.  :func:`run_load_sync` is
+the entrypoint the bench runner calls for ``svc-*`` scenarios.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from ..experiment.spec import ExperimentSpec
+from .server import ConsensusService, InProcessClient, ServiceConfig
+
+PATTERNS = ("flash", "ramp", "churn")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One seeded client population."""
+
+    sessions: int
+    pattern: str = "flash"
+    proposals_per_session: int = 1
+    ramp_s: float = 0.25  #: arrival spread for the ``ramp`` pattern.
+    churn_rate: float = 0.5  #: P(reconnect after a decision), ``churn``.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown load pattern {self.pattern!r}; known: {PATTERNS}"
+            )
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+
+
+@dataclass
+class _Tally:
+    """Mutable counters shared by every client coroutine."""
+
+    sessions_opened: int = 0
+    proposals_submitted: int = 0
+    proposals_accepted: int = 0
+    proposals_rejected: int = 0
+    decisions_observed: int = 0
+    unserved: int = 0  #: proposals whose decision never arrived.
+    reconnects: int = 0
+    dropped_events: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+
+def percentiles(samples: list[float],
+                points: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict[str, float]:
+    """Nearest-rank percentiles plus mean/max/count (empty-safe)."""
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for p in points:
+        rank = min(len(ordered) - 1, max(0, int(p * len(ordered) + 0.5) - 1))
+        out[f"p{int(p * 100)}"] = ordered[rank]
+    out["mean"] = sum(ordered) / len(ordered)
+    out["max"] = ordered[-1]
+    out["count"] = len(ordered)
+    return out
+
+
+async def _await_decision(client: InProcessClient, instance: int) -> dict | None:
+    """Consume the stream until ``instance`` decides.
+
+    Returns ``None`` if the world completes (or the service shuts down)
+    without that decision arriving — which happens legitimately when the
+    slow-consumer policy dropped it, or the workload ran out.
+    """
+    while True:
+        event = await client.next_event()
+        kind = event["type"]
+        if kind == "decision" and event["instance"] == instance:
+            return event
+        if kind in ("world-complete", "shutdown"):
+            return None
+
+
+async def _client_loop(service: ConsensusService, profile: LoadProfile,
+                       rng: random.Random, index: int, tally: _Tally) -> None:
+    if profile.pattern == "ramp" and profile.sessions > 1:
+        await asyncio.sleep(profile.ramp_s * index / (profile.sessions - 1))
+    try:
+        client = service.connect(client=f"loadgen-{index}")
+    except ServiceError:
+        return
+    tally.sessions_opened += 1
+    await client.next_event()  # the welcome snapshot
+    try:
+        for attempt in range(profile.proposals_per_session):
+            if service.driver.complete:
+                tally.unserved += (profile.proposals_per_session - attempt)
+                break
+            sent_at = time.perf_counter()
+            tally.proposals_submitted += 1
+            client.propose(f"load{index}.{attempt}", request_id=str(attempt))
+            # Closed loop: wait for the ack (carrying the instance the
+            # proposal landed in), then for that instance's decision.
+            instance = None
+            while True:
+                event = await client.next_event()
+                if event["type"] == "ack" and event.get("id") == str(attempt):
+                    instance = event["instance"]
+                    break
+                if event["type"] == "error" and event.get("id") == str(attempt):
+                    tally.proposals_rejected += 1
+                    break
+                if event["type"] in ("world-complete", "shutdown"):
+                    break
+            if instance is None:
+                tally.unserved += (profile.proposals_per_session - attempt)
+                break
+            tally.proposals_accepted += 1
+            decision = await _await_decision(client, instance)
+            if decision is None:
+                tally.unserved += (profile.proposals_per_session - attempt)
+                break
+            tally.decisions_observed += 1
+            tally.latencies_s.append(time.perf_counter() - sent_at)
+            if (profile.pattern == "churn"
+                    and attempt + 1 < profile.proposals_per_session
+                    and rng.random() < profile.churn_rate):
+                tally.dropped_events += client.dropped
+                client.close()
+                tally.reconnects += 1
+                try:
+                    client = service.connect(client=f"loadgen-{index}r")
+                except ServiceError:
+                    tally.unserved += (profile.proposals_per_session
+                                       - attempt - 1)
+                    return
+                tally.sessions_opened += 1
+                await client.next_event()
+    finally:
+        tally.dropped_events += client.dropped
+        client.close()
+
+
+async def run_load(spec: ExperimentSpec, profile: LoadProfile,
+                   config: ServiceConfig = ServiceConfig()) -> dict:
+    """Serve ``spec``, drive the client population, report the numbers."""
+    service = ConsensusService(spec, config)
+    rng = random.Random(profile.seed)
+    tally = _Tally()
+    client_rngs = [random.Random(rng.getrandbits(64))
+                   for _ in range(profile.sessions)]
+    started = time.perf_counter()
+    clients = [
+        asyncio.ensure_future(
+            _client_loop(service, profile, client_rngs[i], i, tally))
+        for i in range(profile.sessions)
+    ]
+    world = service.start_world()
+    await asyncio.gather(*clients)
+    # Clients done; let the world finish so rounds/sec means something.
+    await world
+    wall_s = time.perf_counter() - started
+    await service.shutdown()
+    rounds = service.driver.current_round
+    return {
+        "profile": {
+            "pattern": profile.pattern,
+            "sessions": profile.sessions,
+            "proposals_per_session": profile.proposals_per_session,
+            "seed": profile.seed,
+        },
+        "world": {
+            "n": service.driver.nodes,
+            "instances": spec.workload.instances,
+            "rounds_per_tick": config.rounds_per_tick,
+        },
+        "wall_s": wall_s,
+        "rounds": rounds,
+        "rounds_per_sec": rounds / wall_s if wall_s > 0 else 0.0,
+        "sessions_opened": tally.sessions_opened,
+        "peak_sessions": service.sessions.peak,
+        "reconnects": tally.reconnects,
+        "proposals_submitted": tally.proposals_submitted,
+        "proposals_accepted": tally.proposals_accepted,
+        "proposals_rejected": tally.proposals_rejected,
+        "proposals_per_sec": (tally.proposals_submitted / wall_s
+                              if wall_s > 0 else 0.0),
+        "decisions_observed": tally.decisions_observed,
+        "unserved": tally.unserved,
+        "dropped_events": tally.dropped_events,
+        "decision_latency_s": percentiles(tally.latencies_s),
+        "world_decisions": service.driver.decisions_published,
+        "invariants": dict(service.driver.result.invariants
+                           if service.driver.result else {}),
+    }
+
+
+def run_load_sync(spec: ExperimentSpec, profile: LoadProfile,
+                  config: ServiceConfig = ServiceConfig()) -> dict:
+    """Blocking wrapper (what the bench runner calls)."""
+    return asyncio.run(run_load(spec, profile, config))

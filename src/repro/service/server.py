@@ -1,0 +1,288 @@
+"""The consensus service: one live world, many sessions, two transports.
+
+:class:`ConsensusService` composes a :class:`~.driver.WorldDriver` and a
+:class:`~.session.SessionManager` and exposes them two ways:
+
+* **in-process** — :meth:`ConsensusService.connect` returns an
+  :class:`InProcessClient` sharing the event loop: the transport the
+  tests and the load harness use, with zero serialization overhead but
+  the exact same session/queue/backpressure machinery as TCP.
+* **TCP** — :meth:`ConsensusService.serve_tcp` speaks the NDJSON wire
+  protocol of :mod:`~.events` over asyncio streams.  Each connection
+  greets with ``hello`` (opening a session), then interleaves request
+  lines with a pump task that writes the session's event stream.
+
+The world starts **paused**; :meth:`start_world` (or awaiting
+:meth:`run_world`) releases the clock.  Sessions attached before that
+observe the run from round zero — the determinism guarantee the
+differential suite leans on.  :meth:`shutdown` is the graceful path:
+stop the clock, broadcast ``shutdown``, give connection pumps a drain
+window, then close everything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.cha import ROUNDS_PER_INSTANCE
+from ..errors import ServiceError
+from ..experiment.result import ExperimentResult
+from ..experiment.runner import Instrument
+from ..experiment.spec import ExperimentSpec
+from .driver import WorldDriver
+from .events import (
+    WireError,
+    encode_event,
+    error_event,
+    parse_request,
+    shutdown_event,
+    validate_request,
+)
+from .session import Session, SessionManager
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (the spec describes the world; this, the front end)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; read :attr:`ConsensusService.tcp_address`.
+    tick_interval: float = 0.0  #: seconds between ticks; 0 = flat out.
+    rounds_per_tick: int = ROUNDS_PER_INSTANCE
+    queue_limit: int = 1024  #: per-session event queue bound.
+    max_sessions: int = 10_000
+    decision_log_limit: int = 256  #: decisions kept for catch-up snapshots.
+    drain_timeout: float = 1.0  #: seconds shutdown waits for pumps to flush.
+
+
+class ConsensusService:
+    """One served world.  Construct paused; start the clock explicitly."""
+
+    def __init__(self, spec: ExperimentSpec,
+                 config: ServiceConfig = ServiceConfig(), *,
+                 instrument: Instrument | None = None) -> None:
+        self.config = config
+        self.driver = WorldDriver(
+            spec,
+            rounds_per_tick=config.rounds_per_tick,
+            tick_interval=config.tick_interval,
+            decision_log_limit=config.decision_log_limit,
+            instrument=instrument,
+        )
+        self.sessions = SessionManager(
+            self.driver,
+            queue_limit=config.queue_limit,
+            max_sessions=config.max_sessions,
+        )
+        self._world_task: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- the world clock ----------------------------------------------
+
+    def start_world(self) -> asyncio.Task:
+        """Release the clock as a background task (idempotent)."""
+        if self._world_task is None:
+            self._world_task = asyncio.ensure_future(self.driver.run())
+        return self._world_task
+
+    async def run_world(self) -> ExperimentResult:
+        """Release the clock and wait for the world to complete."""
+        task = self.start_world()
+        await asyncio.shield(task)
+        assert self.driver.result is not None
+        return self.driver.result
+
+    # -- in-process transport ------------------------------------------
+
+    def connect(self, *, client: str | None = None) -> "InProcessClient":
+        return InProcessClient(self, self.sessions.open(client=client))
+
+    # -- TCP transport -------------------------------------------------
+
+    async def serve_tcp(self) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        return self._server
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_tasks.add(asyncio.current_task())
+        session: Session | None = None
+        pump: asyncio.Task | None = None
+        graceful = False
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = parse_request(line)
+                except WireError as exc:
+                    event = error_event(str(exc))
+                    if session is not None:
+                        session.queue.put(event)
+                    else:
+                        writer.write(encode_event(dict(event, seq=-1)))
+                        await writer.drain()
+                    continue
+                if request["op"] == "hello":
+                    if session is not None:
+                        session.queue.put(error_event(
+                            "session already open; 'hello' is a "
+                            "connection greeting"))
+                        continue
+                    try:
+                        session = self.sessions.open(
+                            client=request.get("client"))
+                    except ServiceError as exc:
+                        writer.write(encode_event(
+                            dict(error_event(str(exc)), seq=-1)))
+                        await writer.drain()
+                        break
+                    pump = asyncio.ensure_future(self._pump(session, writer))
+                    continue
+                if session is None:
+                    writer.write(encode_event(dict(
+                        error_event("say 'hello' first to open a session"),
+                        seq=-1)))
+                    await writer.drain()
+                    continue
+                if not session.handle(request):
+                    # ``bye`` — the pump exits after flushing through
+                    # the bye event it just enqueued.
+                    graceful = True
+                    break
+        finally:
+            if pump is not None:
+                if graceful:
+                    # Bounded window to flush through the farewell.
+                    with contextlib.suppress(asyncio.TimeoutError,
+                                             ConnectionError,
+                                             asyncio.CancelledError):
+                        await asyncio.wait_for(
+                            pump, timeout=self.config.drain_timeout)
+                pump.cancel()
+                with contextlib.suppress(asyncio.CancelledError,
+                                         ConnectionError):
+                    await pump
+            if session is not None:
+                self.sessions.close(session)
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _pump(self, session: Session, writer: asyncio.StreamWriter) -> None:
+        """Write the session's event stream until it ends."""
+        while True:
+            event = await session.queue.get()
+            writer.write(encode_event(event))
+            await writer.drain()
+            if event.get("type") in ("bye", "shutdown"):
+                return
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def shutdown(self, reason: str = "service shutting down") -> None:
+        """Graceful stop: halt the clock, notify, drain, close."""
+        if self._world_task is not None and not self._world_task.done():
+            self._world_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._world_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.driver.bus.publish(shutdown_event(reason))
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=self.config.drain_timeout)
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+        self.sessions.close_all()
+
+
+class InProcessClient:
+    """The zero-copy transport: same sessions, queues, and validation
+    as TCP, minus the sockets.  Requests are dicts; events come back
+    (seq-stamped) from :meth:`next_event`."""
+
+    def __init__(self, service: ConsensusService, session: Session) -> None:
+        self.service = service
+        self.session = session
+
+    # -- requests ------------------------------------------------------
+
+    def request(self, request: dict) -> None:
+        """Validate and dispatch one request dict."""
+        if self.session.closed:
+            raise ServiceError(f"session {self.session_id!r} is closed")
+        if not self.session.handle(validate_request(dict(request))):
+            self.close()
+
+    def propose(self, value: str, *, instance: int | None = None,
+                node: int | None = None, request_id: str | None = None) -> None:
+        request: dict[str, Any] = {"op": "propose", "value": value}
+        if instance is not None:
+            request["instance"] = instance
+        if node is not None:
+            request["node"] = node
+        if request_id is not None:
+            request["id"] = request_id
+        self.request(request)
+
+    def ping(self) -> None:
+        self.request({"op": "ping"})
+
+    def stats(self) -> None:
+        self.request({"op": "stats"})
+
+    def bye(self) -> None:
+        self.request({"op": "bye"})
+
+    # -- events --------------------------------------------------------
+
+    async def next_event(self) -> dict:
+        return await self.session.queue.get()
+
+    def next_event_nowait(self) -> dict | None:
+        return self.session.queue.get_nowait()
+
+    def drain(self) -> list[dict]:
+        """Pop everything currently queued (non-blocking)."""
+        events = []
+        while (event := self.session.queue.get_nowait()) is not None:
+            events.append(event)
+        return events
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    @property
+    def closed(self) -> bool:
+        return self.session.closed
+
+    @property
+    def dropped(self) -> int:
+        return self.session.queue.dropped
+
+    def close(self) -> None:
+        if not self.session.closed:
+            self.service.sessions.close(self.session)

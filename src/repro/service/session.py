@@ -1,0 +1,152 @@
+"""Sessions: one client's window onto the live world.
+
+A :class:`Session` owns exactly one :class:`~repro.service.driver.SessionQueue`
+subscribed to the driver's event bus, plus the request dispatch shared
+by every transport.  :class:`SessionManager` is the registry — open,
+close, drain — and the only holder of strong references: closing a
+session unsubscribes its queue and drops it from the table, after which
+nothing in the service keeps it alive (the lifecycle suite pins this
+with weakrefs).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ServiceError
+from .driver import SessionQueue, WorldDriver
+from .events import (
+    ack_event,
+    bye_event,
+    error_event,
+    pong_event,
+    stats_event,
+    welcome_event,
+)
+
+
+class Session:
+    """One open session: a queue, a dispatch table, and counters."""
+
+    def __init__(self, session_id: str, driver: WorldDriver,
+                 queue: SessionQueue, *, client: str | None = None) -> None:
+        self.session_id = session_id
+        self.client = client
+        self.queue = queue
+        self.closed = False
+        self.proposals_submitted = 0
+        self.proposals_accepted = 0
+        self._driver = driver
+
+    def stats(self) -> dict:
+        return {
+            "session": self.session_id,
+            "round": self._driver.current_round,
+            "next_instance": self._driver.ledger.next_open,
+            "proposals_submitted": self.proposals_submitted,
+            "proposals_accepted": self.proposals_accepted,
+            "events_delivered": self.queue.delivered,
+            "events_dropped": self.queue.dropped,
+            "events_pending": len(self.queue),
+        }
+
+    def handle(self, request: dict) -> bool:
+        """Dispatch one validated request; responses land on the queue.
+
+        Returns ``False`` when the session asked to close (``bye``) —
+        transports then flush and disconnect.
+        """
+        if self.closed:
+            raise ServiceError(f"session {self.session_id!r} is closed")
+        op = request["op"]
+        if op == "propose":
+            self.proposals_submitted += 1
+            request_id = request.get("id")
+            try:
+                instance = self._driver.submit(
+                    request["value"],
+                    instance=request.get("instance"),
+                    node=request.get("node"),
+                )
+            except ServiceError as exc:
+                self.queue.put(error_event(str(exc), request_id=request_id))
+            else:
+                self.proposals_accepted += 1
+                self.queue.put(ack_event(instance=instance,
+                                         request_id=request_id))
+        elif op == "ping":
+            self.queue.put(pong_event(round_=self._driver.current_round))
+        elif op == "stats":
+            self.queue.put(stats_event(self.stats()))
+        elif op == "bye":
+            self.queue.put(bye_event())
+            return False
+        elif op == "hello":
+            self.queue.put(error_event(
+                "session already open; 'hello' is a connection greeting"
+            ))
+        else:  # pragma: no cover - the wire layer validates ops
+            raise ServiceError(f"unhandled op {op!r}")
+        return True
+
+
+class SessionManager:
+    """Open/close registry; the service's only strong session refs."""
+
+    def __init__(self, driver: WorldDriver, *, queue_limit: int = 1024,
+                 max_sessions: int = 10_000) -> None:
+        self._driver = driver
+        self._queue_limit = queue_limit
+        self._max_sessions = max_sessions
+        self._sessions: dict[str, Session] = {}
+        self._opened = 0
+        self.peak = 0
+
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def opened(self) -> int:
+        """Sessions ever opened (reconnects count again)."""
+        return self._opened
+
+    def sessions(self) -> list[Session]:
+        return list(self._sessions.values())
+
+    def open(self, *, client: str | None = None) -> Session:
+        """Attach a session; its first event is a catch-up ``welcome``."""
+        if len(self._sessions) >= self._max_sessions:
+            raise ServiceError(
+                f"session limit reached ({self._max_sessions})"
+            )
+        self._opened += 1
+        session_id = f"s{self._opened}"
+        queue = self._driver.bus.subscribe(session_id, self._queue_limit)
+        session = Session(session_id, self._driver, queue, client=client)
+        self._sessions[session_id] = session
+        self.peak = max(self.peak, len(self._sessions))
+        queue.put(welcome_event(session=session_id,
+                                snapshot=self._driver.snapshot()))
+        return session
+
+    def close(self, session: Session) -> None:
+        """Detach: unsubscribe the queue and forget the session."""
+        session.closed = True
+        self._driver.bus.unsubscribe(session.session_id)
+        self._sessions.pop(session.session_id, None)
+
+    def close_all(self) -> None:
+        for session in list(self._sessions.values()):
+            self.close(session)
+
+    def totals(self) -> dict:
+        """Aggregate delivery counters across *open* sessions."""
+        sessions = self._sessions.values()
+        return {
+            "active": len(self._sessions),
+            "opened": self._opened,
+            "peak": self.peak,
+            "events_delivered": sum(s.queue.delivered for s in sessions),
+            "events_dropped": sum(s.queue.dropped for s in sessions),
+        }

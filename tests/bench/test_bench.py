@@ -392,3 +392,71 @@ def test_cli_absolute_gate_end_to_end(tmp_path, capsys, monkeypatch):
                        "--out", str(out), "--compare", str(base_path),
                        "--absolute"]) == 0
     assert "absolute gate skipped" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Offline compare CLI (python -m repro.bench.compare)
+# ----------------------------------------------------------------------
+
+from repro.bench.compare import main as compare_main  # noqa: E402
+
+
+def _write_abs(tmp_path, name, machine_class, rps, **extra):
+    report = _abs_report(machine_class, rps)
+    for row in report["results"].values():
+        row.update(extra)
+    return write_report(report, tmp_path / name)
+
+
+def test_compare_cli_missing_report(tmp_path, capsys):
+    present = _write_abs(tmp_path, "r.json", "ci", {"a": 1.0})
+    assert compare_main([str(present), str(tmp_path / "absent.json")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_compare_cli_ratio_gate(tmp_path, capsys):
+    base = _write_abs(tmp_path, "base.json", "ci", {"a": 100.0},
+                      speedup_vs_reference=4.0)
+    good = _write_abs(tmp_path, "good.json", "ci", {"a": 95.0},
+                      speedup_vs_reference=3.9)
+    bad = _write_abs(tmp_path, "bad.json", "ci", {"a": 95.0},
+                     speedup_vs_reference=1.0)
+    assert compare_main([str(good), str(base)]) == 0
+    assert "no regression" in capsys.readouterr().out
+    assert compare_main([str(bad), str(base)]) == 1
+    assert "speedup_vs_reference regressed" in capsys.readouterr().err
+
+
+def test_compare_cli_absolute_only(tmp_path, capsys):
+    base = _write_abs(tmp_path, "base.json", "ci", {"a": 1000.0})
+    ok = _write_abs(tmp_path, "ok.json", "ci", {"a": 900.0})
+    slow = _write_abs(tmp_path, "slow.json", "ci", {"a": 100.0})
+    # --absolute-only ignores the (absent) ratio metric entirely.
+    assert compare_main([str(ok), str(base), "--absolute-only"]) == 0
+    assert "absolute floors" in capsys.readouterr().out
+    assert compare_main([str(slow), str(base), "--absolute-only"]) == 1
+    assert "rounds_per_sec regressed" in capsys.readouterr().err
+    # Tolerance is adjustable.
+    assert compare_main([str(slow), str(base), "--absolute-only",
+                         "--absolute-tolerance", "0.95"]) == 0
+
+
+def test_compare_cli_absolute_only_disarmed_is_loud_but_green(tmp_path, capsys):
+    base = _write_abs(tmp_path, "base.json", None, {"a": 1e12})
+    current = _write_abs(tmp_path, "r.json", "ci", {"a": 1.0})
+    assert compare_main([str(current), str(base), "--absolute-only"]) == 0
+    out = capsys.readouterr().out
+    assert "absolute gate skipped" in out
+    assert "decided nothing" in out
+
+
+def test_compare_cli_combined_gates(tmp_path, capsys):
+    base = _write_abs(tmp_path, "base.json", "ci", {"a": 1000.0},
+                      speedup_vs_reference=4.0)
+    # Ratio holds but the floor breaks: --absolute catches it.
+    current = _write_abs(tmp_path, "r.json", "ci", {"a": 100.0},
+                         speedup_vs_reference=4.0)
+    assert compare_main([str(current), str(base)]) == 0
+    capsys.readouterr()
+    assert compare_main([str(current), str(base), "--absolute"]) == 1
+    assert "rounds_per_sec regressed" in capsys.readouterr().err

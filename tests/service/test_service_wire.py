@@ -1,0 +1,257 @@
+"""The wire layer: request validation, canonical event encoding, the
+TCP transport end-to-end, graceful shutdown, and the CLI."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+from repro.experiment import MetricsSpec
+from repro.service import (
+    MAX_LINE_BYTES,
+    ConsensusService,
+    ServiceConfig,
+    WireError,
+    decode_event,
+    encode_event,
+    parse_request,
+    validate_request,
+)
+from repro.service.__main__ import main as service_main
+
+pytestmark = pytest.mark.fast
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("line,message", [
+    (b"not json", "not valid JSON"),
+    (b"[1, 2]", "must be a JSON object"),
+    (b'{"op": "nope"}', "unknown op"),
+    (b'{"value": "x"}', "unknown op"),
+    (b'{"op": "propose"}', "needs a 'value' field"),
+    (b'{"op": "propose", "value": 7}', "must be str"),
+    (b'{"op": "propose", "value": "x", "instance": 0}', "must be >= 1"),
+    (b'{"op": "propose", "value": "x", "instance": true}', "must be int"),
+    (b'{"op": "propose", "value": "x", "node": -1}', "non-negative"),
+    (b'{"op": "propose", "value": "x", "id": 9}', "must be str"),
+    (b'{"op": "hello", "client": 5}', "must be str"),
+])
+def test_parse_request_rejects_malformed(line, message):
+    with pytest.raises(WireError, match=message):
+        parse_request(line)
+
+
+def test_parse_request_accepts_every_op():
+    assert parse_request(b'{"op": "hello"}')["op"] == "hello"
+    assert parse_request('{"op": "ping"}')["op"] == "ping"
+    assert parse_request(b'{"op": "stats"}')["op"] == "stats"
+    assert parse_request(b'{"op": "bye"}')["op"] == "bye"
+    request = parse_request(
+        b'{"op": "propose", "value": "v", "instance": 3, "node": 0, '
+        b'"id": "r1"}')
+    assert request["instance"] == 3 and request["node"] == 0
+
+
+def test_parse_request_enforces_line_ceiling():
+    huge = json.dumps({"op": "propose", "value": "x" * MAX_LINE_BYTES})
+    with pytest.raises(WireError, match="exceeds"):
+        parse_request(huge.encode())
+
+
+def test_validate_request_rejects_non_dict():
+    with pytest.raises(WireError, match="JSON object"):
+        validate_request(["op", "ping"])
+
+
+def test_event_encoding_is_canonical_ndjson():
+    event = {"type": "decision", "instance": 3, "value": "v"}
+    encoded = encode_event(event)
+    assert encoded.endswith(b"\n") and encoded.count(b"\n") == 1
+    # Key order never leaks into the bytes.
+    assert encode_event({"value": "v", "instance": 3, "type": "decision"}) \
+        == encoded
+    assert decode_event(encoded) == event
+    with pytest.raises(WireError, match="'type'"):
+        decode_event(b'{"no": "type"}')
+
+
+# ----------------------------------------------------------------------
+# TCP transport end-to-end
+# ----------------------------------------------------------------------
+
+def _spec(instances: int = 6) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol=CHA(), world=ClusterWorld(n=5),
+        workload=WorkloadSpec(instances=instances),
+        metrics=MetricsSpec(metrics=("rounds",), invariants=("agreement",)),
+        keep_trace=False,
+    )
+
+
+class _TcpClient:
+    """Minimal NDJSON test client."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader, self.writer = reader, writer
+
+    @classmethod
+    async def open(cls, service: ConsensusService) -> "_TcpClient":
+        host, port = service.tcp_address
+        return cls(*await asyncio.open_connection(host, port))
+
+    async def send(self, **request) -> None:
+        self.writer.write((json.dumps(request) + "\n").encode())
+        await self.writer.drain()
+
+    async def recv(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=5)
+        assert line, "server closed the connection unexpectedly"
+        return decode_event(line)
+
+    async def recv_type(self, wanted: str) -> dict:
+        while True:
+            event = await self.recv()
+            if event["type"] == wanted:
+                return event
+
+    async def close(self) -> None:
+        self.writer.close()
+        await self.writer.wait_closed()
+
+
+def test_tcp_session_full_conversation():
+    async def scenario():
+        service = ConsensusService(_spec(), ServiceConfig())
+        await service.serve_tcp()
+        client = await _TcpClient.open(service)
+
+        # Requests before hello are rejected without opening a session.
+        await client.send(op="ping")
+        event = await client.recv()
+        assert event["type"] == "error" and "hello" in event["reason"]
+        assert service.sessions.active == 0
+
+        await client.send(op="hello", client="wire-test")
+        welcome = await client.recv()
+        assert welcome["type"] == "welcome" and welcome["round"] == 0
+        assert service.sessions.active == 1
+
+        # A second hello on the same connection is an error event, not a
+        # second session.
+        await client.send(op="hello")
+        event = await client.recv()
+        assert event["type"] == "error" and "already open" in event["reason"]
+        assert service.sessions.active == 1
+
+        # Malformed lines produce error events mid-session too.
+        await client.send(op="propose")
+        event = await client.recv()
+        assert event["type"] == "error" and "value" in event["reason"]
+
+        await client.send(op="propose", value="tcp-v", id="r1")
+        ack = await client.recv()
+        assert ack["type"] == "ack" and ack["id"] == "r1"
+
+        service.start_world()
+        decision = await client.recv_type("decision")
+        assert decision["instance"] == ack["instance"]
+        assert decision["value"] == "tcp-v"
+        assert decision["agreement"] == "ok"
+
+        await client.send(op="stats")
+        stats = await client.recv_type("stats")
+        assert stats["proposals_accepted"] == 1
+
+        await client.send(op="bye")
+        farewell = await client.recv_type("bye")
+        assert farewell["type"] == "bye"
+        await client.close()
+
+        await service.run_world()
+        await service.shutdown()
+        assert service.sessions.active == 0
+
+    asyncio.run(scenario())
+
+
+def test_tcp_abrupt_disconnect_cleans_up():
+    async def scenario():
+        service = ConsensusService(_spec(), ServiceConfig())
+        await service.serve_tcp()
+        client = await _TcpClient.open(service)
+        await client.send(op="hello")
+        await client.recv_type("welcome")
+        assert service.sessions.active == 1
+        await client.close()  # no bye: the death of a client
+        for _ in range(50):
+            if service.sessions.active == 0:
+                break
+            await asyncio.sleep(0.01)
+        assert service.sessions.active == 0
+        await service.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_shutdown_notifies_connected_sessions():
+    async def scenario():
+        service = ConsensusService(_spec(), ServiceConfig())
+        await service.serve_tcp()
+        client = await _TcpClient.open(service)
+        await client.send(op="hello")
+        await client.recv_type("welcome")
+        await service.shutdown("maintenance window")
+        event = await client.recv_type("shutdown")
+        assert event["reason"] == "maintenance window"
+        assert (await client.reader.readline()) == b""  # then EOF
+        assert service.sessions.active == 0
+
+    asyncio.run(scenario())
+
+
+def test_tcp_session_limit_rejects_connection():
+    async def scenario():
+        service = ConsensusService(_spec(), ServiceConfig(max_sessions=1))
+        await service.serve_tcp()
+        first = await _TcpClient.open(service)
+        await first.send(op="hello")
+        await first.recv_type("welcome")
+        second = await _TcpClient.open(service)
+        await second.send(op="hello")
+        event = await second.recv()
+        assert event["type"] == "error" and "session limit" in event["reason"]
+        assert (await second.reader.readline()) == b""  # connection closed
+        await first.close()
+        await service.shutdown()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_describe_prints_config(capsys):
+    assert service_main(["--describe", "--nodes", "9", "--instances", "42",
+                         "--protocol", "two-phase-cha",
+                         "--queue-limit", "7"]) == 0
+    described = json.loads(capsys.readouterr().out)
+    assert described["world"]["n"] == 9
+    assert described["workload"]["instances"] == 42
+    assert described["protocol"] == "two-phase-cha"
+    assert described["service"]["queue_limit"] == 7
+
+
+def test_cli_serves_a_world_to_completion(capsys):
+    assert service_main(["--nodes", "4", "--instances", "3",
+                         "--tick-interval", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "serving 4-node CHA world" in out
+    assert "world complete after 9 rounds" in out
