@@ -22,10 +22,9 @@ from typing import Any, Callable
 
 from ..core.ballot import BallotPayload, VetoPayload
 from ..core.cha import ChaCore, _NO_PAYLOADS
-from ..core.history import History
 from ..net.messages import MIXED_TAGS, Message
 from ..net.node import Process
-from ..types import BOTTOM, Color, Instance, Round, Value
+from ..types import Instance, Round, Value
 
 #: Rounds per instance for the ablated protocol.
 TWO_PHASE_ROUNDS = 2
@@ -36,9 +35,23 @@ class TwoPhaseChaProcess(Process):
 
     def __init__(self, *, propose: Callable[[Instance], Value],
                  cm_name: str = "C", tag: Any = "2pc-cha",
-                 use_reference_history: bool | None = None) -> None:
-        self.core = ChaCore(propose=propose, tag=tag,
-                            use_reference_history=use_reference_history)
+                 use_reference_history: bool | None = None,
+                 use_reference_core: bool | None = None,
+                 pool_payloads: bool = False) -> None:
+        if use_reference_core is None:
+            from ..core.slotted import reference_core_forced
+            use_reference_core = reference_core_forced()
+        self.use_reference_core = use_reference_core
+        if use_reference_core:
+            self.core = ChaCore(propose=propose, tag=tag,
+                                use_reference_history=use_reference_history)
+        else:
+            from ..core.slotted import SlottedChaCore
+            self.core = SlottedChaCore(
+                propose=propose, tag=tag,
+                use_reference_history=use_reference_history,
+                pool_payloads=pool_payloads,
+            )
         self.cm_name = cm_name
 
     def contend(self, r: Round) -> str | None:
@@ -46,11 +59,10 @@ class TwoPhaseChaProcess(Process):
 
     def send(self, r: Round, active: bool) -> Any | None:
         if r % TWO_PHASE_ROUNDS == 0:
-            payload = self.core.begin_instance()
-            return payload if active else None
-        if self.core.wants_veto1():  # red nodes veto; no second chance
-            return VetoPayload(self.core.tag, self.core.k, 1)
-        return None
+            return self.core.begin_instance_send(active)
+        # Red nodes veto; no second chance.  Inert before the first
+        # instance has begun (mid-grid power-up).
+        return self.core.veto1_payload()
 
     def deliver_batch(self, r: Round, messages: tuple[Message, ...],
                       collision: bool, batch) -> None:
@@ -80,28 +92,23 @@ class TwoPhaseChaProcess(Process):
         self._deliver_decoded(r, mine, collision)
 
     def _deliver_decoded(self, r: Round, mine, collision: bool) -> None:
+        core = self.core
         if r % TWO_PHASE_ROUNDS == 0:
             ballots = [
                 p.ballot for p in mine
-                if isinstance(p, BallotPayload) and p.instance == self.core.k
+                if isinstance(p, BallotPayload) and p.instance == core.k
             ]
-            self.core.on_ballot_reception(ballots, collision)
+            core.on_ballot_reception(ballots, collision)
             return
-        veto = any(isinstance(p, VetoPayload) for p in mine)
+        if not core.has_instance():
+            return  # pre-instance veto phase (mid-grid power-up): inert
+        k = core.k
+        veto = any(isinstance(p, VetoPayload) and p.instance == k
+                   for p in mine)
         # Single veto phase: trouble demotes green straight to orange, and
         # the instance ends here.  Only green advances prev / outputs.
-        if veto or collision:
-            self.core.status[self.core.k] = min(
-                Color.ORANGE, self.core.status[self.core.k],
-            )
-        k = self.core.k
-        output: History | None
-        if self.core.status[k] is Color.GREEN:
-            self.core.prev_instance = k
-            output = self.core.current_history()
-        else:
-            output = BOTTOM
-        self.core.outputs.append((k, output))
+        core.on_veto1_reception(veto, collision)
+        core.finish_instance_single_veto()
 
     @property
     def outputs(self):

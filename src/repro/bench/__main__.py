@@ -18,6 +18,7 @@ from .compare import (
     DEFAULT_TOLERANCE,
     compare_absolute,
     compare_reports,
+    comparison_notes,
 )
 from .history import append_history
 from .runner import load_report, run_benchmarks, write_report
@@ -139,6 +140,8 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         baseline = load_report(baseline_path)
+        for note in comparison_notes(report, baseline):
+            print(f"note: {note}")
         regressions = compare_reports(
             report, baseline,
             tolerance=args.tolerance, metric=args.metric,

@@ -68,6 +68,53 @@ def compare_reports(current: dict, baseline: dict, *,
     return regressions
 
 
+def comparison_notes(current: dict, baseline: dict) -> list[str]:
+    """Non-gating observations the skip logic of :func:`compare_reports`
+    would otherwise swallow.
+
+    The gate compares what both reports measured and trusts the
+    *baseline's* ``gated`` flags — which means a renamed or dropped
+    gated scenario, or a current report that flips a scenario's
+    ``gated`` flag, silently disarms its gate.  These notes make every
+    such skip visible in the comparator output (no-silent-caps): one
+    line per scenario present on only one side, and one per gated-flag
+    disagreement between the two reports.
+    """
+    notes = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name in sorted(base_results):
+        if name in cur_results:
+            continue
+        gated = base_results[name].get("gated", True) is not False
+        if gated:
+            notes.append(f"{name}: gated in the baseline but missing from "
+                         "the current report — its gate decided nothing")
+        else:
+            notes.append(f"{name}: in the baseline only (informational); "
+                         "skipped")
+    for name in sorted(cur_results):
+        if name in base_results:
+            continue
+        gated = cur_results[name].get("gated", True) is not False
+        if gated:
+            notes.append(f"{name}: gated in the current report but absent "
+                         "from the baseline — no floor to gate against")
+        else:
+            notes.append(f"{name}: in the current report only "
+                         "(informational); skipped")
+    for name in sorted(set(base_results) & set(cur_results)):
+        base_gated = base_results[name].get("gated", True) is not False
+        cur_gated = cur_results[name].get("gated", True) is not False
+        if base_gated != cur_gated:
+            notes.append(
+                f"{name}: gated flag disagrees (baseline "
+                f"{str(base_gated).lower()}, current "
+                f"{str(cur_gated).lower()}); the baseline's flag decides"
+            )
+    return notes
+
+
 def compare_absolute(current: dict, baseline: dict, *,
                      tolerance: float = DEFAULT_ABSOLUTE_TOLERANCE
                      ) -> tuple[list[str], str | None]:
@@ -165,6 +212,9 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     current = load_report(args.current)
     baseline = load_report(args.baseline)
+
+    for note in comparison_notes(current, baseline):
+        print(f"note: {note}")
 
     regressions: list[str] = []
     gates: list[str] = []

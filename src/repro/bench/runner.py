@@ -11,11 +11,12 @@ remainder.
 Reference timings re-run the same scenario on the full reference stack:
 the channel pinned to its all-pairs path, the simulator's caches
 disabled *and* its round loop pinned to the seed per-node engine, and
-every protocol core pinned to the seed re-walking history fold — the
-same switches ``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1``
-/ ``REPRO_REFERENCE_ENGINE=1`` flip globally — giving the
-machine-independent ``speedup_vs_reference`` ratio the regression gate
-(:mod:`repro.bench.compare`) is keyed on.
+every protocol core pinned to the seed dict-based core *and* its
+re-walking history fold — the same four switches
+``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1`` /
+``REPRO_REFERENCE_ENGINE=1`` / ``REPRO_REFERENCE_CORE=1`` flip
+globally — giving the machine-independent ``speedup_vs_reference``
+ratio the regression gate (:mod:`repro.bench.compare`) is keyed on.
 
 ``run_benchmarks(..., workers=N)`` fans whole scenarios out over
 :func:`repro.experiment.sweep.pool_map` (the sweep subsystem's worker
@@ -101,7 +102,8 @@ def _time_once(scenario: BenchScenario, *,
     """One trial: returns (wall_s, rounds, phase breakdown)."""
     spec = scenario.make_spec()
     if reference:
-        spec = dataclasses.replace(spec, use_reference_history=True)
+        spec = dataclasses.replace(spec, use_reference_history=True,
+                                   use_reference_core=True)
     timer_box: list[_ChannelTimer] = []
 
     def instrument(sim) -> None:

@@ -24,6 +24,12 @@ from .history import (
     reference_history_forced,
 )
 from .runner import ChaRun, cluster_positions, default_proposer, run_cha
+from .slotted import (
+    REFERENCE_CORE_ENV,
+    SlottedChaCore,
+    SlottedCheckpointChaCore,
+    reference_core_forced,
+)
 from .spec import (
     check_agreement,
     check_all,
@@ -48,11 +54,15 @@ __all__ = [
     "PHASE_BALLOT",
     "PHASE_VETO1",
     "PHASE_VETO2",
+    "REFERENCE_CORE_ENV",
     "ROUNDS_PER_INSTANCE",
+    "SlottedChaCore",
+    "SlottedCheckpointChaCore",
     "VetoPayload",
     "calculate_history",
     "calculate_history_reference",
     "canonical_key",
+    "reference_core_forced",
     "reference_history_forced",
     "check_agreement",
     "check_all",

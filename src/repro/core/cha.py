@@ -55,6 +55,9 @@ PHASE_VETO2 = 2
 #: the deliver paths only ever iterate the decoded list).
 _NO_PAYLOADS: tuple = ()
 
+#: Batch-memo miss sentinel (``None`` and ``False`` are real values).
+_UNDECODED = object()
+
 
 def calculate_history_reference(instance: Instance, prev: Instance,
                                 ballots: Mapping[Instance, Ballot]) -> History:
@@ -138,6 +141,17 @@ class ChaCore:
             ballot=Ballot(value, self.prev_instance),
         )
 
+    def begin_instance_send(self, active: bool) -> BallotPayload | None:
+        """Start the next instance and produce the ballot-phase wire
+        payload iff the contention manager advises broadcasting.
+
+        The slotted core overrides this with a pooled, allocation-free
+        path; the reference core keeps the seed behaviour verbatim
+        (the payload is built either way and discarded when inactive).
+        """
+        payload = self.begin_instance()
+        return payload if active else None
+
     def on_ballot_reception(self, ballots: Iterable[Ballot], collision: bool) -> None:
         """Ballot-phase reception (lines 29-32).
 
@@ -154,9 +168,29 @@ class ChaCore:
     # Veto phases
     # ------------------------------------------------------------------
 
+    def has_instance(self) -> bool:
+        """True once the current instance has ballot-phase state — i.e.
+        veto phases may act.  False before ``begin_instance`` has run (a
+        node powered up mid-grid whose first active round lands in a
+        veto phase) and after a checkpoint reset; both are *pre-instance*
+        states in which veto phases are inert (send and receive nothing).
+        """
+        return self.k in self.status
+
     def wants_veto1(self) -> bool:
-        """Broadcast ⟨veto⟩ in veto-1 iff the instance is red (line 21)."""
-        return self.status[self.k] is Color.RED
+        """Broadcast ⟨veto⟩ in veto-1 iff the instance is red (line 21).
+
+        Inert (False) before the first instance has begun."""
+        return self.status.get(self.k) is Color.RED
+
+    def veto1_payload(self) -> VetoPayload | None:
+        """The veto-1 wire payload, or None when not vetoing.
+
+        The payload-producing twin of :meth:`wants_veto1`; the slotted
+        core overrides it with a pooled path."""
+        if self.status.get(self.k) is Color.RED:
+            return VetoPayload(self.tag, self.k, 1)
+        return None
 
     def on_veto1_reception(self, veto_seen: bool, collision: bool) -> None:
         """Veto-1 reception (lines 33-35): downgrade green to orange."""
@@ -164,8 +198,18 @@ class ChaCore:
             self.status[self.k] = min(Color.ORANGE, self.status[self.k])
 
     def wants_veto2(self) -> bool:
-        """Broadcast ⟨veto⟩ in veto-2 iff red or orange (line 25)."""
-        return self.status[self.k] <= Color.ORANGE
+        """Broadcast ⟨veto⟩ in veto-2 iff red or orange (line 25).
+
+        Inert (False) before the first instance has begun."""
+        status = self.status.get(self.k)
+        return status is not None and status <= Color.ORANGE
+
+    def veto2_payload(self) -> VetoPayload | None:
+        """The veto-2 wire payload, or None when not vetoing."""
+        status = self.status.get(self.k)
+        if status is not None and status <= Color.ORANGE:
+            return VetoPayload(self.tag, self.k, 2)
+        return None
 
     def on_veto2_reception(self, veto_seen: bool, collision: bool) -> tuple[Instance, History | None]:
         """Veto-2 reception and end-of-instance bookkeeping (lines 36-45).
@@ -183,6 +227,22 @@ class ChaCore:
             self.prev_instance = k
         output: History | None
         if status is Color.GREEN:
+            output = self.current_history()
+        else:
+            output = BOTTOM
+        self.outputs.append((k, output))
+        return k, output
+
+    def finish_instance_single_veto(self) -> tuple[Instance, History | None]:
+        """End-of-instance bookkeeping for the single-veto ablation
+        (two-phase CHA): no second downgrade opportunity — green
+        advances ``prev-instance`` and outputs its history, everything
+        else outputs bottom."""
+        k = self.k
+        status = self.status[k]
+        output: History | None
+        if status is Color.GREEN:
+            self.prev_instance = k
             output = self.current_history()
         else:
             output = BOTTOM
@@ -311,13 +371,28 @@ class CHAProcess(Process):
                  cm_name: str = "C", tag: Any = "cha",
                  start_round: Round = 0,
                  on_output: Callable[[Instance, History | None], None] | None = None,
-                 use_reference_history: bool | None = None) -> None:
-        self.core = ChaCore(propose=propose, tag=tag,
-                            use_reference_history=use_reference_history)
+                 use_reference_history: bool | None = None,
+                 use_reference_core: bool | None = None,
+                 pool_payloads: bool = False) -> None:
+        if use_reference_core is None:
+            from .slotted import reference_core_forced
+            use_reference_core = reference_core_forced()
+        #: Pin this process to the seed dict-based core (the slotted
+        #: array core is the default).
+        self.use_reference_core = use_reference_core
+        if use_reference_core:
+            self.core = ChaCore(propose=propose, tag=tag,
+                                use_reference_history=use_reference_history)
+        else:
+            from .slotted import SlottedChaCore
+            self.core = SlottedChaCore(
+                propose=propose, tag=tag,
+                use_reference_history=use_reference_history,
+                pool_payloads=pool_payloads,
+            )
         self.cm_name = cm_name
         self.start_round = start_round
         self._on_output = on_output
-        self._pending_ballot: BallotPayload | None = None
 
     def _phase(self, r: Round) -> int:
         return (r - self.start_round) % ROUNDS_PER_INSTANCE
@@ -329,36 +404,34 @@ class CHAProcess(Process):
         phase = (r - self.start_round) % ROUNDS_PER_INSTANCE
         core = self.core
         if phase == PHASE_BALLOT:
-            self._pending_ballot = core.begin_instance()
-            if active:
-                return self._pending_ballot
-            return None
-        # The veto predicates are wants_veto1()/wants_veto2() inlined —
-        # this runs once per node per round.
-        status = core.status[core.k]
+            return core.begin_instance_send(active)
+        # The veto payload producers are inert before the first instance
+        # has begun (a node powered up mid-grid sends nothing until its
+        # first ballot phase comes around).
         if phase == PHASE_VETO1:
-            if status is Color.RED:
-                return VetoPayload(core.tag, core.k, 1)
-            return None
-        if status <= Color.ORANGE:
-            return VetoPayload(core.tag, core.k, 2)
-        return None
+            return core.veto1_payload()
+        return core.veto2_payload()
 
     def deliver(self, r: Round, messages: tuple[Message, ...], collision: bool) -> None:
         phase = self._phase(r)
-        mine = [m.payload for m in messages if getattr(m.payload, "tag", None) == self.core.tag]
+        core = self.core
+        mine = [m.payload for m in messages if getattr(m.payload, "tag", None) == core.tag]
         if phase == PHASE_BALLOT:
             ballots = [
                 p.ballot for p in mine
-                if isinstance(p, BallotPayload) and p.instance == self.core.k
+                if isinstance(p, BallotPayload) and p.instance == core.k
             ]
-            self.core.on_ballot_reception(ballots, collision)
-        elif phase == PHASE_VETO1:
-            veto = any(isinstance(p, VetoPayload) for p in mine)
-            self.core.on_veto1_reception(veto, collision)
+            core.on_ballot_reception(ballots, collision)
+            return
+        if not core.has_instance():
+            return  # pre-instance veto phase (mid-grid power-up): inert
+        k = core.k
+        veto = any(isinstance(p, VetoPayload) and p.instance == k
+                   for p in mine)
+        if phase == PHASE_VETO1:
+            core.on_veto1_reception(veto, collision)
         else:
-            veto = any(isinstance(p, VetoPayload) for p in mine)
-            k, output = self.core.on_veto2_reception(veto, collision)
+            k, output = core.on_veto2_reception(veto, collision)
             if self._on_output is not None:
                 self._on_output(k, output)
 
@@ -371,15 +444,90 @@ class CHAProcess(Process):
         single-ensemble case skips the per-message ``getattr`` scan
         (every payload is ours), a foreign ensemble's round is discarded
         wholesale, and empty receptions skip decoding entirely.  The
-        phase dispatch is kept inline (not shared with :meth:`deliver`)
-        on purpose: this runs once per node per round and the extra
-        frame is measurable — keep the two bodies in lockstep.
+        derived reception values — the ballot extraction, the veto scan
+        — are memoised on the batch keyed by ``(tag, instance, phase)``,
+        so the round's first eligible receiver computes them and its
+        lockstep peers reuse them (receivers at another instance, e.g. a
+        mid-grid joiner, get their own entry).  Eligibility is the
+        point: only a receiver whose reception covers the *whole*
+        broadcast set may touch the memo, because receptions are
+        per-receiver (a transmitter hears only itself; range and drops
+        prune others) and two full-coverage receptions are guaranteed
+        identical — same messages, same sender-sorted order.  Partial
+        receptions take a private unshared scan.  The phase dispatch is
+        kept inline (not shared with :meth:`deliver`) on purpose: this
+        runs once per node per round and the extra frame is measurable —
+        keep the two bodies in lockstep.
         """
         core = self.core
+        phase = (r - self.start_round) % ROUNDS_PER_INSTANCE
+        if phase == PHASE_BALLOT:
+            if not messages:
+                ballots = _NO_PAYLOADS
+            elif len(messages) == len(batch.broadcasts):
+                memo = batch.memo
+                k = core.k
+                key = (core.tag, k, PHASE_BALLOT)
+                ballots = memo.get(key, _UNDECODED)
+                if ballots is _UNDECODED:
+                    ballots = [
+                        p.ballot for p in self._decode_mine(messages, batch)
+                        if isinstance(p, BallotPayload) and p.instance == k
+                    ]
+                    memo[key] = ballots
+            else:
+                k = core.k
+                tag = core.tag
+                ballots = [
+                    m.payload.ballot for m in messages
+                    if isinstance(m.payload, BallotPayload)
+                    and m.payload.tag == tag and m.payload.instance == k
+                ]
+            core.on_ballot_reception(ballots, collision)
+            return
+        if not core.has_instance():
+            return  # pre-instance veto phase (mid-grid power-up): inert
         if not messages:
-            mine = _NO_PAYLOADS
+            veto = False
+        elif len(messages) == len(batch.broadcasts):
+            memo = batch.memo
+            k = core.k
+            key = (core.tag, k, phase)
+            veto = memo.get(key, _UNDECODED)
+            if veto is _UNDECODED:
+                veto = False
+                for p in self._decode_mine(messages, batch):
+                    if isinstance(p, VetoPayload) and p.instance == k:
+                        veto = True
+                        break
+                memo[key] = veto
         else:
+            k = core.k
             tag = core.tag
+            veto = any(
+                isinstance(m.payload, VetoPayload)
+                and m.payload.tag == tag and m.payload.instance == k
+                for m in messages
+            )
+        if phase == PHASE_VETO1:
+            core.on_veto1_reception(veto, collision)
+        else:
+            k, output = core.on_veto2_reception(veto, collision)
+            if self._on_output is not None:
+                self._on_output(k, output)
+
+    def _decode_mine(self, messages, batch):
+        """The round's payloads carrying this core's tag (memoised).
+
+        Only called on a derived-value memo miss by a receiver whose
+        reception covers the whole broadcast set, so the decoded list is
+        receiver-independent: every full-coverage reception carries the
+        same messages in the same sender-sorted order.
+        """
+        memo = batch.memo
+        tag = self.core.tag
+        mine = memo.get(("mine", tag), _UNDECODED)
+        if mine is _UNDECODED:
             uniform = batch.uniform_tag()
             if uniform == tag:
                 mine = [m.payload for m in messages]
@@ -388,25 +536,8 @@ class CHAProcess(Process):
             else:
                 mine = [m.payload for m in messages
                         if getattr(m.payload, "tag", None) == tag]
-        phase = (r - self.start_round) % ROUNDS_PER_INSTANCE
-        if phase == PHASE_BALLOT:
-            ballots = [
-                p.ballot for p in mine
-                if isinstance(p, BallotPayload) and p.instance == core.k
-            ]
-            core.on_ballot_reception(ballots, collision)
-            return
-        veto = False
-        for p in mine:
-            if isinstance(p, VetoPayload):
-                veto = True
-                break
-        if phase == PHASE_VETO1:
-            core.on_veto1_reception(veto, collision)
-        else:
-            k, output = core.on_veto2_reception(veto, collision)
-            if self._on_output is not None:
-                self._on_output(k, output)
+            memo[("mine", tag)] = mine
+        return mine
 
     # Convenience passthroughs -----------------------------------------
 

@@ -204,15 +204,28 @@ class CheckpointCHAProcess(CHAProcess):
                  cm_name: str = "C", tag: Any = "cha",
                  start_round: int = 0,
                  on_output: Callable[[Instance, History | None], None] | None = None,
-                 use_reference_history: bool | None = None) -> None:
+                 use_reference_history: bool | None = None,
+                 use_reference_core: bool | None = None,
+                 pool_payloads: bool = False) -> None:
         super().__init__(propose=propose, cm_name=cm_name, tag=tag,
                          start_round=start_round, on_output=on_output,
-                         use_reference_history=use_reference_history)
-        self.core = CheckpointChaCore(
-            propose=propose, reducer=reducer,
-            initial_state=initial_state, tag=tag,
-            use_reference_history=use_reference_history,
-        )
+                         use_reference_history=use_reference_history,
+                         use_reference_core=use_reference_core,
+                         pool_payloads=pool_payloads)
+        if self.use_reference_core:
+            self.core = CheckpointChaCore(
+                propose=propose, reducer=reducer,
+                initial_state=initial_state, tag=tag,
+                use_reference_history=use_reference_history,
+            )
+        else:
+            from .slotted import SlottedCheckpointChaCore
+            self.core = SlottedCheckpointChaCore(
+                propose=propose, reducer=reducer,
+                initial_state=initial_state, tag=tag,
+                use_reference_history=use_reference_history,
+                pool_payloads=pool_payloads,
+            )
 
     @property
     def checkpoint(self) -> CheckpointOutput:

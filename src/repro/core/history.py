@@ -89,6 +89,30 @@ class HistoryTimer:
 HISTORY_TIMER = HistoryTimer()
 
 
+#: Current interning generation (see :func:`new_chain_generation`).
+_chain_generation = 0
+
+
+def new_chain_generation() -> int:
+    """Open a fresh chain-interning generation and return its number.
+
+    Interning dedups chain links under ``(generation, anchor, key)``, so
+    links from different generations never resolve to the same object.
+    The experiment stepper opens a generation per execution: without
+    this, a previous run's not-yet-collected chains could satisfy the
+    current run's interning probes, handing back links whose *value*
+    objects come from the dead run — equal, but distinct from the values
+    on this run's wire, which changes which objects a pickled result
+    shares between its trace and its outputs.  Byte-identity of a run's
+    observables would then depend on garbage-collector timing.  Scoping
+    interning per execution keeps all sharing within a run (where every
+    participant folds the same wire objects) and none across runs.
+    """
+    global _chain_generation
+    _chain_generation += 1
+    return _chain_generation
+
+
 def _intern_key(value):
     """A type-exact interning key for a fold value, or raise TypeError.
 
@@ -123,10 +147,11 @@ class HistoryChain:
     A node represents the fold of a whole chain: the entry
     ``(anchor, value)`` plus everything below it via ``parent``.  Links
     are **interned** per parent (weakly, so finished runs can be
-    collected) under the type-exact key of :func:`_intern_key`: among
-    live nodes, type-identical equal paths are the same object, which is
-    what lets :class:`History` short-circuit prefix comparisons on
-    identity.  Interning fails soft — an unhashable or non-internable
+    collected) under the type-exact key of :func:`_intern_key`, scoped
+    to the current :func:`new_chain_generation`: among live same-
+    generation nodes, type-identical equal paths are the same object,
+    which is what lets :class:`History` short-circuit prefix comparisons
+    on identity.  Interning fails soft — an unhashable or non-internable
     value yields a private, non-interned node and the comparisons fall
     back to entry tuples, exactly the seed semantics.
 
@@ -135,7 +160,7 @@ class HistoryChain:
     """
 
     __slots__ = ("parent", "anchor", "value", "depth", "interned",
-                 "_children", "_entries", "__weakref__")
+                 "_children", "_entries", "_last_child", "__weakref__")
 
     def __init__(self, parent: "HistoryChain | None", anchor: Instance,
                  value: Value, *, interned: bool) -> None:
@@ -150,20 +175,33 @@ class HistoryChain:
         self._entries: tuple[tuple[Instance, Value], ...] | None = (
             () if parent is None else None
         )
+        self._last_child: tuple | None = None
 
     def child(self, anchor: Instance, value: Value) -> "HistoryChain":
         """The (interned) link extending this fold by one entry."""
+        # Lockstep fast path: a whole cohort folds the same wire value
+        # object onto the same parent in one round, so remember the last
+        # interned link and serve repeats by identity — same result as
+        # the interning probe (``v is value`` implies equal intern keys)
+        # without the key construction or the weak lookup.  The
+        # generation check keeps a dead run's pinned link from ever
+        # resolving in the next run.
+        last = self._last_child
+        if (last is not None and last[2] is value and last[1] == anchor
+                and last[0] == _chain_generation):
+            return last[3]
         kids = self._children
         if kids is None:
             return HistoryChain(self, anchor, value, interned=False)
         try:  # unhashable / non-internable value: private node, no dedup
-            key = (anchor, _intern_key(value))
+            key = (_chain_generation, anchor, _intern_key(value))
             node = kids.get(key)
         except TypeError:
             return HistoryChain(self, anchor, value, interned=False)
         if node is None:
             node = HistoryChain(self, anchor, value, interned=True)
             kids[key] = node
+        self._last_child = (_chain_generation, anchor, value, node)
         return node
 
     def prefix(self, cut: Instance) -> "HistoryChain":

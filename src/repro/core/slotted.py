@@ -1,0 +1,795 @@
+"""Slotted/flat-array protocol cores for the CHA family.
+
+The dict-based :class:`~repro.core.cha.ChaCore` indexes every piece of
+per-instance state (colour, adopted ballot, cached fold) through hash
+lookups and allocates a fresh ``Ballot`` + ``BallotPayload`` pair per
+node per instance.  After PR 5 pushed engine dispatch down to ~15% of
+wall time, that per-instance churn *is* the profile.  This module keeps
+the same observable protocol behaviour in flat storage:
+
+* colours live in a ``list[int]`` indexed by instance (``-1`` = absent),
+* adopted ballots are parallel ``(value, prev_instance)`` rows, with the
+  ``Ballot`` object materialised only at wire/snapshot boundaries (and
+  the exact wire object retained when traces may hold it, so pickled
+  traces keep their object-sharing structure),
+* the fold cache is a parallel ``list[HistoryChain | None]`` — an array
+  fast path for :meth:`_fold_chain`'s cache probe,
+* wire payloads can be pooled across rounds (``pool_payloads=True``):
+  one ``BallotPayload``/``Ballot`` and one ``VetoPayload`` per veto
+  phase are mutated in place each round.  Pooling is only safe when
+  nothing retains wire objects across rounds, i.e. when the run keeps
+  no trace; the experiment runner enables it exactly for
+  ``keep_trace=False`` cluster runs.
+
+The dict-based cores remain the executable specification behind
+``REPRO_REFERENCE_CORE=1`` / ``ExperimentSpec.use_reference_core`` /
+``use_reference_core=`` ctor args — the fourth reference switch
+alongside the channel, history and engine switches — and the
+differential suite pins the two byte-identical.
+
+``status`` and ``ballots`` stay available as live, writable
+dict-style views (tests and glass-box checkers mutate protocol state
+through them); only the hot paths bypass the views.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import MutableMapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..errors import ProtocolError
+from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Value
+from .ballot import Ballot, BallotPayload, VetoPayload
+from .cha import calculate_history_reference
+from .checkpoint import CheckpointOutput, Reducer
+from .history import (
+    HISTORY_TIMER,
+    History,
+    HistoryChain,
+    ROOT_CHAIN,
+    reference_history_forced,
+)
+
+#: Environment switch pinning every CHA-family process to the dict-based
+#: reference core (mirrors ``REPRO_REFERENCE_CHANNEL``/``_HISTORY``/
+#: ``_ENGINE``).
+REFERENCE_CORE_ENV = "REPRO_REFERENCE_CORE"
+
+
+def reference_core_forced() -> bool:
+    """True when the environment pins the dict-based reference core."""
+    return os.environ.get(REFERENCE_CORE_ENV, "0") not in ("", "0")
+
+
+#: Absent-colour sentinel in the status array (colours are 0..3).
+_NO_STATUS = -1
+_RED = int(Color.RED)
+_ORANGE = int(Color.ORANGE)
+_YELLOW = int(Color.YELLOW)
+_GREEN = int(Color.GREEN)
+
+#: Small-int -> Color, indexed by colour value.
+_COLORS = (Color.RED, Color.ORANGE, Color.YELLOW, Color.GREEN)
+
+#: Absent-ballot sentinel in the ballot-value array (``None`` is a legal
+#: value in V's Python realisation, so absence needs its own object).
+_ABSENT = object()
+
+
+class _StatusView(MutableMapping):
+    """Live dict view over a slotted core's colour array."""
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core: "SlottedChaCore") -> None:
+        self._core = core
+
+    def __getitem__(self, k: Instance) -> Color:
+        arr = self._core._status_arr
+        if isinstance(k, int) and 0 <= k < len(arr):
+            code = arr[k]
+            if code >= 0:
+                return _COLORS[code]
+        raise KeyError(k)
+
+    def __setitem__(self, k: Instance, color: Color) -> None:
+        code = int(color)
+        if not 0 <= code <= 3:
+            raise ValueError(f"not a CHAP colour: {color!r}")
+        core = self._core
+        core._ensure(k)
+        if core._status_arr[k] < 0:
+            core._status_count += 1
+        core._status_arr[k] = code
+
+    def __delitem__(self, k: Instance) -> None:
+        core = self._core
+        arr = core._status_arr
+        if isinstance(k, int) and 0 <= k < len(arr) and arr[k] >= 0:
+            arr[k] = _NO_STATUS
+            core._status_count -= 1
+            return
+        raise KeyError(k)
+
+    def __iter__(self) -> Iterator[Instance]:
+        arr = self._core._status_arr
+        return (k for k in range(len(arr)) if arr[k] >= 0)
+
+    def __len__(self) -> int:
+        return self._core._status_count
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class _BallotView(MutableMapping):
+    """Live dict view over a slotted core's ballot rows.
+
+    Reads materialise (and cache) ``Ballot`` objects on demand; in
+    unpooled runs the cached object is the exact wire ballot the core
+    adopted, so snapshots preserve the reference core's object sharing.
+    """
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core: "SlottedChaCore") -> None:
+        self._core = core
+
+    def __getitem__(self, k: Instance) -> Ballot:
+        core = self._core
+        vals = core._ballot_vals
+        if isinstance(k, int) and 0 <= k < len(vals):
+            value = vals[k]
+            if value is not _ABSENT:
+                obj = core._ballot_objs[k]
+                if obj is None:
+                    obj = Ballot(value, core._ballot_prevs[k])
+                    core._ballot_objs[k] = obj
+                return obj
+        raise KeyError(k)
+
+    def __setitem__(self, k: Instance, ballot: Ballot) -> None:
+        core = self._core
+        core._ensure(k)
+        if core._ballot_vals[k] is _ABSENT:
+            core._ballot_count += 1
+        core._ballot_vals[k] = ballot.value
+        core._ballot_prevs[k] = ballot.prev_instance
+        core._ballot_objs[k] = ballot
+
+    def __delitem__(self, k: Instance) -> None:
+        core = self._core
+        vals = core._ballot_vals
+        if isinstance(k, int) and 0 <= k < len(vals) and vals[k] is not _ABSENT:
+            vals[k] = _ABSENT
+            core._ballot_objs[k] = None
+            core._ballot_count -= 1
+            return
+        raise KeyError(k)
+
+    def __iter__(self) -> Iterator[Instance]:
+        vals = self._core._ballot_vals
+        return (k for k in range(len(vals)) if vals[k] is not _ABSENT)
+
+    def __len__(self) -> int:
+        return self._core._ballot_count
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class SlottedChaCore:
+    """:class:`~repro.core.cha.ChaCore` semantics over flat arrays.
+
+    Duck-type compatible with the dict-based core — same methods, same
+    quirks (pre-instance ballot receptions still create an entry at
+    instance 0; missing-ballot chains still raise), byte-identical
+    outputs — with per-instance state in parallel arrays and optional
+    wire-payload pooling.
+    """
+
+    __slots__ = (
+        "_propose", "tag", "use_reference_history", "pool_payloads",
+        "k", "prev_instance", "proposals_made", "outputs",
+        "_status_arr", "_ballot_vals", "_ballot_prevs", "_ballot_objs",
+        "_fold_cache", "_status_count", "_ballot_count",
+        "_status_view", "_ballot_view",
+        "_pooled_ballot_payload", "_pooled_veto1", "_pooled_veto2",
+    )
+
+    def __init__(self, *, propose: Callable[[Instance], Value],
+                 tag: Any = "cha",
+                 use_reference_history: bool | None = None,
+                 pool_payloads: bool = False) -> None:
+        self._propose = propose
+        self.tag = tag
+        if use_reference_history is None:
+            use_reference_history = reference_history_forced()
+        self.use_reference_history = use_reference_history
+        #: Reuse one BallotPayload/Ballot and one VetoPayload per phase
+        #: across rounds.  Only safe when no trace retains wire objects.
+        self.pool_payloads = pool_payloads
+        self.k: Instance = NO_INSTANCE
+        self.prev_instance: Instance = NO_INSTANCE
+        self.proposals_made: dict[Instance, Value] = {}
+        self.outputs: list[tuple[Instance, History | None]] = []
+        # Parallel arrays indexed by instance (index 0 is the
+        # NO_INSTANCE slot: normally empty, but reachable through the
+        # same quirks as the reference dicts).
+        self._status_arr: list[int] = [_NO_STATUS]
+        self._ballot_vals: list[Any] = [_ABSENT]
+        self._ballot_prevs: list[Instance] = [NO_INSTANCE]
+        self._ballot_objs: list[Ballot | None] = [None]
+        self._fold_cache: list[HistoryChain | None] = [None]
+        self._status_count = 0
+        self._ballot_count = 0
+        self._status_view = _StatusView(self)
+        self._ballot_view = _BallotView(self)
+        self._pooled_ballot_payload: BallotPayload | None = None
+        self._pooled_veto1: VetoPayload | None = None
+        self._pooled_veto2: VetoPayload | None = None
+
+    # ------------------------------------------------------------------
+    # Storage plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure(self, k: Instance) -> None:
+        """Grow all parallel arrays to cover instance ``k``.
+
+        Over-allocates (doubling) so the once-per-instance hot paths,
+        which guard with ``k >= len(arr)``, amortise growth to O(1):
+        empty slots hold the same sentinels a fresh array would, so
+        capacity beyond ``k`` is observationally inert.
+        """
+        arr = self._status_arr
+        need = k + 1 - len(arr)
+        if need > 0:
+            grow = max(need, len(arr), 8)
+            arr.extend([_NO_STATUS] * grow)
+            self._ballot_vals.extend([_ABSENT] * grow)
+            self._ballot_prevs.extend([NO_INSTANCE] * grow)
+            self._ballot_objs.extend([None] * grow)
+            self._fold_cache.extend([None] * grow)
+
+    def _clear_storage(self, length: int) -> None:
+        self._status_arr = [_NO_STATUS] * length
+        self._ballot_vals = [_ABSENT] * length
+        self._ballot_prevs = [NO_INSTANCE] * length
+        self._ballot_objs = [None] * length
+        self._fold_cache = [None] * length
+        self._status_count = 0
+        self._ballot_count = 0
+
+    @property
+    def status(self) -> MutableMapping:
+        return self._status_view
+
+    @status.setter
+    def status(self, mapping: Mapping[Instance, Color]) -> None:
+        arr = self._status_arr
+        for i in range(len(arr)):
+            arr[i] = _NO_STATUS
+        self._status_count = 0
+        view = self._status_view
+        for k, color in mapping.items():
+            view[k] = color
+
+    @property
+    def ballots(self) -> MutableMapping:
+        return self._ballot_view
+
+    @ballots.setter
+    def ballots(self, mapping: Mapping[Instance, Ballot]) -> None:
+        vals = self._ballot_vals
+        objs = self._ballot_objs
+        for i in range(len(vals)):
+            vals[i] = _ABSENT
+            objs[i] = None
+        self._ballot_count = 0
+        view = self._ballot_view
+        for k, ballot in mapping.items():
+            view[k] = ballot
+
+    # ------------------------------------------------------------------
+    # Ballot phase
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> Value:
+        """Advance ``k``, record the proposal, paint the slot green."""
+        k = self.k + 1
+        self.k = k
+        value = self._propose(k)
+        self.proposals_made[k] = value
+        arr = self._status_arr
+        if k >= len(arr):
+            self._ensure(k)  # extends in place: ``arr`` stays valid
+        if arr[k] < 0:
+            self._status_count += 1
+        arr[k] = _GREEN
+        return value
+
+    def begin_instance(self) -> BallotPayload:
+        """Start the next instance; always returns a fresh payload
+        (compatibility path — the pooled hot path is
+        :meth:`begin_instance_send`)."""
+        value = self._begin()
+        return BallotPayload(
+            tag=self.tag,
+            instance=self.k,
+            ballot=Ballot(value, self.prev_instance),
+        )
+
+    def begin_instance_send(self, active: bool) -> BallotPayload | None:
+        """Start the next instance and produce the wire payload iff the
+        contention manager advises broadcasting (lines 14-19).
+
+        Inactive nodes advance their state without allocating anything;
+        active nodes reuse the pooled payload when pooling is on.
+        """
+        value = self._begin()
+        if not active:
+            return None
+        if not self.pool_payloads:
+            return BallotPayload(
+                tag=self.tag,
+                instance=self.k,
+                ballot=Ballot(value, self.prev_instance),
+            )
+        payload = self._pooled_ballot_payload
+        if payload is None:
+            payload = BallotPayload(
+                tag=self.tag,
+                instance=self.k,
+                ballot=Ballot(value, self.prev_instance),
+            )
+            self._pooled_ballot_payload = payload
+            return payload
+        ballot = payload.ballot
+        object.__setattr__(ballot, "value", value)
+        object.__setattr__(ballot, "prev_instance", self.prev_instance)
+        object.__setattr__(payload, "instance", self.k)
+        return payload
+
+    def on_ballot_reception(self, ballots: Iterable[Ballot],
+                            collision: bool) -> None:
+        """Ballot-phase reception (lines 29-32): adopt ``min(M)``.
+
+        Matches the reference's ``sorted(...)[0]`` including its stable
+        tie-break: the *first* minimal wire ballot is the one adopted
+        (and retained, when wire objects may outlive the round).
+        """
+        k = self.k
+        best: Ballot | None = None
+        if not collision:
+            if type(ballots) is list and len(ballots) == 1:
+                # The common case — exactly the leader's ballot — needs
+                # no sort key (matching the reference: sorting one
+                # element performs no comparisons).
+                best = ballots[0]
+            else:
+                best_key = None
+                for b in ballots:
+                    key = b.sort_key()
+                    if best_key is None or key < best_key:
+                        best = b
+                        best_key = key
+        if best is None:
+            arr = self._status_arr
+            if k >= len(arr):
+                self._ensure(k)
+            if arr[k] < 0:
+                self._status_count += 1
+            arr[k] = _RED
+            return
+        vals = self._ballot_vals
+        if k >= len(vals):
+            self._ensure(k)
+        if vals[k] is _ABSENT:
+            self._ballot_count += 1
+        vals[k] = best.value
+        self._ballot_prevs[k] = best.prev_instance
+        # Pooled wire ballots are mutated next round; only retain the
+        # object when the run may hold it (trace/snapshot sharing).
+        self._ballot_objs[k] = None if self.pool_payloads else best
+
+    # ------------------------------------------------------------------
+    # Veto phases
+    # ------------------------------------------------------------------
+
+    def has_instance(self) -> bool:
+        """True once the current instance has ballot-phase state — i.e.
+        veto phases may act.  False before ``begin_instance`` has run
+        (a node powered up mid-grid) and after a checkpoint reset."""
+        k = self.k
+        arr = self._status_arr
+        return k < len(arr) and arr[k] >= 0
+
+    def wants_veto1(self) -> bool:
+        """Broadcast ⟨veto⟩ in veto-1 iff the instance is red (line 21).
+
+        Inert (False) before the first instance has begun."""
+        k = self.k
+        arr = self._status_arr
+        return k < len(arr) and arr[k] == _RED
+
+    def veto1_payload(self) -> VetoPayload | None:
+        """The veto-1 wire payload, or None (pooled hot path)."""
+        k = self.k
+        arr = self._status_arr
+        if k >= len(arr) or arr[k] != _RED:
+            return None
+        if not self.pool_payloads:
+            return VetoPayload(self.tag, k, 1)
+        payload = self._pooled_veto1
+        if payload is None:
+            payload = VetoPayload(self.tag, k, 1)
+            self._pooled_veto1 = payload
+        else:
+            object.__setattr__(payload, "instance", k)
+        return payload
+
+    def on_veto1_reception(self, veto_seen: bool, collision: bool) -> None:
+        """Veto-1 reception (lines 33-35): downgrade green to orange."""
+        if veto_seen or collision:
+            k = self.k
+            arr = self._status_arr
+            status = arr[k] if k < len(arr) else _NO_STATUS
+            if status < 0:
+                raise KeyError(k)
+            if status > _ORANGE:
+                arr[k] = _ORANGE
+
+    def wants_veto2(self) -> bool:
+        """Broadcast ⟨veto⟩ in veto-2 iff red or orange (line 25).
+
+        Inert (False) before the first instance has begun."""
+        k = self.k
+        arr = self._status_arr
+        return k < len(arr) and 0 <= arr[k] <= _ORANGE
+
+    def veto2_payload(self) -> VetoPayload | None:
+        """The veto-2 wire payload, or None (pooled hot path)."""
+        k = self.k
+        arr = self._status_arr
+        if k >= len(arr) or not 0 <= arr[k] <= _ORANGE:
+            return None
+        if not self.pool_payloads:
+            return VetoPayload(self.tag, k, 2)
+        payload = self._pooled_veto2
+        if payload is None:
+            payload = VetoPayload(self.tag, k, 2)
+            self._pooled_veto2 = payload
+        else:
+            object.__setattr__(payload, "instance", k)
+        return payload
+
+    def on_veto2_reception(self, veto_seen: bool,
+                           collision: bool) -> tuple[Instance, History | None]:
+        """Veto-2 reception and end-of-instance bookkeeping (lines 36-45)."""
+        k = self.k
+        arr = self._status_arr
+        status = arr[k] if k < len(arr) else _NO_STATUS
+        if status < 0:
+            raise KeyError(k)
+        if (veto_seen or collision) and status > _YELLOW:
+            status = _YELLOW
+            arr[k] = _YELLOW
+        if status >= _YELLOW:
+            self.prev_instance = k
+        output: History | None
+        if status == _GREEN:
+            # Inline fast path for the dominant green case: skip the
+            # current_history/_compute_history frames when neither the
+            # timer nor the reference fold is armed.
+            if HISTORY_TIMER.enabled or self.use_reference_history:
+                output = self.current_history()
+            else:
+                output = History._from_chain(
+                    k, self._fold_chain(k, self.prev_instance))
+        else:
+            output = BOTTOM
+        self.outputs.append((k, output))
+        return k, output
+
+    def finish_instance_single_veto(self) -> tuple[Instance, History | None]:
+        """End-of-instance bookkeeping for the single-veto ablation
+        (two-phase CHA): no second downgrade opportunity — green outputs
+        its history, everything else outputs bottom."""
+        k = self.k
+        arr = self._status_arr
+        status = arr[k] if k < len(arr) else _NO_STATUS
+        if status < 0:
+            raise KeyError(k)
+        output: History | None
+        if status == _GREEN:
+            self.prev_instance = k
+            output = self.current_history()
+        else:
+            output = BOTTOM
+        self.outputs.append((k, output))
+        return k, output
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def current_history(self) -> History:
+        """The history computed from the current chain (line 41)."""
+        timer = HISTORY_TIMER
+        if not timer.enabled:
+            return self._compute_history()
+        t0 = time.perf_counter()
+        try:
+            return self._compute_history()
+        finally:
+            timer.seconds += time.perf_counter() - t0
+            timer.calls += 1
+
+    def _compute_history(self) -> History:
+        if self.use_reference_history:
+            return calculate_history_reference(
+                self.k, self.prev_instance, self._ballot_view)
+        return History._from_chain(
+            self.k, self._fold_chain(self.k, self.prev_instance))
+
+    def _fold_chain(self, instance: Instance, prev: Instance, *,
+                    floor: Instance = 0) -> HistoryChain:
+        """Incremental ``calculate-history`` over the flat arrays.
+
+        Same walk as :meth:`ChaCore._fold_chain` with the cache probe
+        and ballot lookup turned into array indexing.
+        """
+        cache = self._fold_cache
+        vals = self._ballot_vals
+        prevs = self._ballot_prevs
+        n = len(vals)
+        # Fast path for the spine shapes that dominate steady state:
+        # the start entry is already cached (repeat fold), or it is one
+        # uncached link whose parent is cached / the root.  Falls
+        # through to the general walk in every other case.
+        p = prev
+        if floor < p <= instance and p < n:
+            node = cache[p]
+            if node is not None:
+                return node
+            value = vals[p]
+            if value is not _ABSENT:
+                q = prevs[p]
+                if not floor < q <= p - 1:
+                    node = ROOT_CHAIN.child(p, value)
+                    cache[p] = node
+                    return node
+                if q < n:
+                    base = cache[q]
+                    if base is not None:
+                        node = base.child(p, value)
+                        cache[p] = node
+                        return node
+        stack: list[tuple[Instance, Value]] = []
+        base: HistoryChain | None = None
+        limit = instance
+        p = prev
+        while floor < p <= limit:
+            if p < n:
+                base = cache[p]
+                if base is not None:
+                    break
+                value = vals[p]
+            else:
+                value = _ABSENT
+            if value is _ABSENT:
+                self._missing_ballot(p)
+            stack.append((p, value))
+            limit = p - 1  # the reference walk only moves downward
+            p = prevs[p]
+        if base is None:
+            base = ROOT_CHAIN
+        for k, v in reversed(stack):
+            base = base.child(k, v)
+            cache[k] = base
+        return base
+
+    def _missing_ballot(self, k: Instance) -> None:
+        """Chain reached an instance with no stored ballot (line 49)."""
+        raise ProtocolError(
+            f"calculate-history reached instance {k} on the chain "
+            "but no ballot is stored for it"
+        )
+
+    def color_of(self, k: Instance) -> Color:
+        """Colour this node assigns instance ``k`` (green if untouched)."""
+        arr = self._status_arr
+        if 0 <= k < len(arr):
+            code = arr[k]
+            if code >= 0:
+                return _COLORS[code]
+        return Color.GREEN
+
+    def decided_history(self) -> History | None:
+        """The most recent non-bottom output, if any."""
+        for _, out in reversed(self.outputs):
+            if out is not BOTTOM:
+                return out
+        return None
+
+    def resident_entries(self) -> int:
+        """Stored ballot + status entries (space metric for experiment E9)."""
+        return self._ballot_count + self._status_count
+
+    # ------------------------------------------------------------------
+    # State transfer (used by the emulation's join protocol)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A copyable snapshot of the protocol state.
+
+        Dicts are materialised in ascending instance order — the order
+        the reference core's insertion-ordered dicts carry in practice —
+        and ballot objects are the retained/cached ones, so pickled
+        snapshots share structure with the trace exactly as the
+        reference core's do.
+        """
+        arr = self._status_arr
+        status = {}
+        for k in range(len(arr)):
+            code = arr[k]
+            if code >= 0:
+                status[k] = _COLORS[code]
+        vals = self._ballot_vals
+        view = self._ballot_view
+        ballots = {}
+        for k in range(len(vals)):
+            if vals[k] is not _ABSENT:
+                ballots[k] = view[k]
+        return {
+            "k": self.k,
+            "prev_instance": self.prev_instance,
+            "status": status,
+            "ballots": ballots,
+        }
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Adopt a snapshot produced by :meth:`snapshot`."""
+        self.k = snapshot["k"]
+        self.prev_instance = snapshot["prev_instance"]
+        self._clear_storage(self.k + 1)
+        status_view = self._status_view
+        for k, color in snapshot["status"].items():
+            status_view[k] = color
+        ballot_view = self._ballot_view
+        for k, ballot in snapshot["ballots"].items():
+            ballot_view[k] = ballot
+
+
+class SlottedCheckpointChaCore(SlottedChaCore):
+    """:class:`~repro.core.checkpoint.CheckpointChaCore` over flat arrays."""
+
+    __slots__ = ("_reducer", "checkpoint_instance", "checkpoint_state")
+
+    def __init__(self, *, propose: Callable[[Instance], Value],
+                 reducer: Reducer, initial_state: Any,
+                 tag: Any = "cha",
+                 use_reference_history: bool | None = None,
+                 pool_payloads: bool = False) -> None:
+        super().__init__(propose=propose, tag=tag,
+                         use_reference_history=use_reference_history,
+                         pool_payloads=pool_payloads)
+        self._reducer = reducer
+        self.checkpoint_instance: Instance = NO_INSTANCE
+        self.checkpoint_state: Any = initial_state
+
+    # -- folding --------------------------------------------------------
+
+    def _fold_to(self, green: Instance, history: History | None = None) -> None:
+        """Advance the checkpoint to the green instance ``green`` and
+        garbage-collect every entry below it (the ballot *at* the
+        checkpoint survives as the chain anchor)."""
+        if history is None:
+            history = self.current_history()
+        state = self.checkpoint_state
+        for k in range(self.checkpoint_instance + 1, green + 1):
+            state = self._reducer(state, k, history(k))
+        self.checkpoint_state = state
+        self.checkpoint_instance = green
+        arr = self._status_arr
+        vals = self._ballot_vals
+        objs = self._ballot_objs
+        for k in range(min(green, len(arr))):
+            if arr[k] >= 0:
+                arr[k] = _NO_STATUS
+                self._status_count -= 1
+            if vals[k] is not _ABSENT:
+                vals[k] = _ABSENT
+                objs[k] = None
+                self._ballot_count -= 1
+        # Cached folds were anchored at the old checkpoint floor (see
+        # CheckpointChaCore._fold_to); drop them all.
+        self._fold_cache = [None] * len(arr)
+
+    def on_veto2_reception(self, veto_seen: bool, collision: bool):
+        """End of instance: green instances fold-and-GC and output the
+        ``(checkpoint, suffix)`` pair instead of a full history."""
+        k = self.k
+        arr = self._status_arr
+        status = arr[k] if k < len(arr) else _NO_STATUS
+        if status < 0:
+            raise KeyError(k)
+        if (veto_seen or collision) and status > _YELLOW:
+            status = _YELLOW
+            arr[k] = _YELLOW
+        if status >= _YELLOW:
+            self.prev_instance = k
+        output: CheckpointOutput | None
+        if status == _GREEN:
+            # One fold serves both the checkpoint advance and the
+            # output derivation.
+            history = self.current_history()
+            self._fold_to(k, history)
+            output = self.current_checkpoint_output(history)
+        else:
+            output = BOTTOM
+        self.outputs.append((k, output))
+        return k, output
+
+    # -- checkpointed view ----------------------------------------------
+
+    def current_checkpoint_output(self, history: History | None = None
+                                  ) -> CheckpointOutput:
+        """The (checkpoint, suffix) pair for the current chain."""
+        if history is None:
+            history = self.current_history()
+        suffix_entries = {
+            k: v for k, v in history.items() if k > self.checkpoint_instance
+        }
+        return CheckpointOutput(
+            checkpoint_instance=self.checkpoint_instance,
+            checkpoint_state=self.checkpoint_state,
+            suffix=History(history.length, suffix_entries),
+        )
+
+    # -- state transfer -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        snap["checkpoint_instance"] = self.checkpoint_instance
+        snap["checkpoint_state"] = self.checkpoint_state
+        return snap
+
+    def restore(self, snapshot) -> None:
+        super().restore(snapshot)
+        self.checkpoint_instance = snapshot["checkpoint_instance"]
+        self.checkpoint_state = snapshot["checkpoint_state"]
+
+    def reset_to(self, instance: Instance, state: Any) -> None:
+        """Re-anchor a fresh core at ``instance`` (the emulation's
+        reset).  Leaves the core in a pre-instance state: veto phases
+        stay inert until the next ballot phase begins an instance."""
+        self.k = instance
+        self.prev_instance = instance
+        self.checkpoint_instance = instance
+        self.checkpoint_state = state
+        self._clear_storage(instance + 1)
+
+    def _compute_history(self) -> History:
+        """Chain reconstruction that stops at the checkpoint anchor."""
+        if self.use_reference_history:
+            entries: dict[Instance, Value] = {}
+            k = self.k
+            prev = self.prev_instance
+            ballots = self._ballot_view
+            while k > self.checkpoint_instance:
+                if k == prev:
+                    ballot = ballots[k]
+                    entries[k] = ballot.value
+                    prev = ballot.prev_instance
+                k -= 1
+            return History(self.k, entries)
+        return History._from_chain(self.k, self._fold_chain(
+            self.k, self.prev_instance, floor=self.checkpoint_instance))
+
+    def _missing_ballot(self, k: Instance) -> None:
+        # The seed checkpoint walk indexes ballots directly, so a broken
+        # chain surfaces as a KeyError rather than a ProtocolError.
+        raise KeyError(k)

@@ -29,7 +29,7 @@ from ..baselines.two_phase_cha import TWO_PHASE_ROUNDS, TwoPhaseChaProcess
 from ..contention import LeaderElectionCM
 from ..core.cha import CHAProcess, ROUNDS_PER_INSTANCE
 from ..core.checkpoint import CheckpointCHAProcess
-from ..core.history import HISTORY_TIMER
+from ..core.history import HISTORY_TIMER, new_chain_generation
 from ..core.runner import ChaRun, cluster_positions, default_proposer
 from ..core.spec import check_agreement, check_liveness, check_validity
 from ..detectors import EventuallyAccurateDetector
@@ -381,6 +381,10 @@ class ExperimentStepper:
             from ..faults.compile import apply_faults
 
             spec = apply_faults(spec)
+        # One execution = one chain-interning generation: a prior run's
+        # uncollected chains must never satisfy this run's interning
+        # probes (see core.history.new_chain_generation).
+        new_chain_generation()
         self._history_t0 = (HISTORY_TIMER.seconds
                             if HISTORY_TIMER.enabled else None)
         self._active_s = 0.0
@@ -511,6 +515,12 @@ class _ClusterExecution(_Execution):
         proposer_factory = getattr(protocol, "proposer_factory", None) or default_proposer
 
         reference_history = spec.use_reference_history
+        reference_core = spec.use_reference_core
+        # Wire-payload pooling is only safe when nothing retains wire
+        # objects across rounds; dropping the trace is exactly that
+        # promise (see repro.core.slotted).  The reference core ignores
+        # the flag.
+        pool_payloads = not spec.keep_trace
         processes: dict[NodeId, Any] = {}
         for node_id, position in enumerate(positions):
             if isinstance(protocol, CHA):
@@ -522,7 +532,9 @@ class _ClusterExecution(_Execution):
                 else:
                     proc = CHAProcess(propose=proposer_factory(node_id),
                                       cm_name="C",
-                                      use_reference_history=reference_history)
+                                      use_reference_history=reference_history,
+                                      use_reference_core=reference_core,
+                                      pool_payloads=pool_payloads)
                 rpi = ROUNDS_PER_INSTANCE
             elif isinstance(protocol, CheckpointCHA):
                 proc = CheckpointCHAProcess(
@@ -531,16 +543,22 @@ class _ClusterExecution(_Execution):
                     initial_state=protocol.initial_state,
                     cm_name="C",
                     use_reference_history=reference_history,
+                    use_reference_core=reference_core,
+                    pool_payloads=pool_payloads,
                 )
                 rpi = ROUNDS_PER_INSTANCE
             elif isinstance(protocol, NaiveRSM):
                 proc = NaiveRSMProcess(propose=proposer_factory(node_id),
                                        cm_name="C",
-                                       use_reference_history=reference_history)
+                                       use_reference_history=reference_history,
+                                       use_reference_core=reference_core,
+                                       pool_payloads=pool_payloads)
                 rpi = ROUNDS_PER_INSTANCE
             elif isinstance(protocol, TwoPhaseCHA):
                 proc = TwoPhaseChaProcess(propose=proposer_factory(node_id),
-                                          use_reference_history=reference_history)
+                                          use_reference_history=reference_history,
+                                          use_reference_core=reference_core,
+                                          pool_payloads=pool_payloads)
                 rpi = TWO_PHASE_ROUNDS
             elif isinstance(protocol, MajorityRSM):
                 proc = MajorityRSMProcess(
@@ -618,6 +636,7 @@ class _EmulationExecution(_Execution):
             schedule=world_spec.schedule,
             use_reference_history=spec.use_reference_history,
             use_reference_engine=spec.use_reference_engine,
+            use_reference_core=spec.use_reference_core,
         )
         world.sim.record_trace = spec.keep_trace
         wire = WireStatsObserver()

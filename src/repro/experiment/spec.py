@@ -247,6 +247,13 @@ class ExperimentSpec:
     #: ``REPRO_REFERENCE_ENGINE`` environment switch at simulator
     #: construction time.
     use_reference_engine: bool | None = None
+    #: Pin every CHA-family process of this run to the seed dict-based
+    #: protocol core instead of the slotted array core
+    #: (:mod:`repro.core.slotted`).  ``None`` defers to the
+    #: ``REPRO_REFERENCE_CORE`` environment switch at process
+    #: construction time — the fourth reference switch alongside the
+    #: channel, history and engine axes.
+    use_reference_core: bool | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent combinations."""

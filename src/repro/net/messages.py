@@ -105,11 +105,18 @@ class RoundBatch:
     built for is a bug.
     """
 
-    __slots__ = ("broadcasts", "_uniform_tag")
+    __slots__ = ("broadcasts", "_uniform_tag", "memo")
 
     def __init__(self, broadcasts: "dict[NodeId, Message]") -> None:
         self.broadcasts = broadcasts
         self._uniform_tag: Any = _UNRESOLVED
+        #: Free-form per-round scratch space for receivers.  Reception
+        #: work that depends only on what was broadcast — not on who is
+        #: receiving — is computed by the round's first receiver and
+        #: shared by the rest (the CHA family memoises its decoded
+        #: payload and ballot lists here, keyed by tag and instance).
+        #: Round-scoped like the batch itself.
+        self.memo: dict = {}
 
     def uniform_tag(self) -> Any:
         """The single ``tag`` attribute shared by every broadcast payload

@@ -56,13 +56,15 @@ class VIDevice(Process):
                  locate: Callable[[], Point],
                  client: ClientProgram | None = None,
                  initially_active: bool = False,
-                 use_reference_history: bool | None = None) -> None:
+                 use_reference_history: bool | None = None,
+                 use_reference_core: bool | None = None) -> None:
         self.sites = {site.vn_id: site for site in sites}
         self.programs = programs
         self.schedule = schedule
         self.clock = clock
         self.region_radius = region_radius
         self.use_reference_history = use_reference_history
+        self.use_reference_core = use_reference_core
         self._locate = locate
         self.client = ClientRuntime(client) if client is not None else None
         self.replica: ReplicaRuntime | None = None
@@ -110,6 +112,7 @@ class VIDevice(Process):
             self.replica = ReplicaRuntime(
                 target, self.programs[target.vn_id], self.schedule,
                 use_reference_history=self.use_reference_history,
+                use_reference_core=self.use_reference_core,
             )
             self.events.append((0, f"deployed:{target.vn_id}"))
 
@@ -223,6 +226,7 @@ class VIDevice(Process):
                     self.sites[vn], self.programs[vn], self.schedule,
                     snapshot=acks[0].snapshot,
                     use_reference_history=self.use_reference_history,
+                    use_reference_core=self.use_reference_core,
                 )
                 self.events.append((vr, f"acked:{vn}"))
             elif collision:
@@ -248,6 +252,7 @@ class VIDevice(Process):
                     self.sites[vn], self.programs[vn], self.schedule,
                     reset_at=vr + 1,
                     use_reference_history=self.use_reference_history,
+                    use_reference_core=self.use_reference_core,
                 )
                 self.events.append((vr, f"reset:{vn}"))
             return

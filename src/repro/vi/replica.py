@@ -24,6 +24,7 @@ from typing import Any
 
 from ..core.ballot import BallotPayload, VetoPayload, canonical_key
 from ..core.checkpoint import CheckpointChaCore
+from ..core.slotted import SlottedCheckpointChaCore, reference_core_forced
 from ..types import BOTTOM, Color, Instance, VirtualRound
 from .payloads import AlivePing, ClientMsg, JoinAck, JoinRequest, VNMsg
 from .phases import Phase, PhasePosition
@@ -49,12 +50,19 @@ class ReplicaRuntime:
     def __init__(self, site: VNSite, program: VNProgram, schedule: Schedule,
                  *, snapshot: dict | None = None,
                  reset_at: Instance | None = None,
-                 use_reference_history: bool | None = None) -> None:
+                 use_reference_history: bool | None = None,
+                 use_reference_core: bool | None = None) -> None:
         self.site = site
         self.program = program
         self.schedule = schedule
         self.tag = ("vn", site.vn_id)
-        self.core = CheckpointChaCore(
+        if use_reference_core is None:
+            use_reference_core = reference_core_forced()
+        if use_reference_core:
+            core_cls = CheckpointChaCore
+        else:
+            core_cls = SlottedCheckpointChaCore
+        self.core = core_cls(
             propose=self._propose,
             reducer=self._reduce,
             initial_state=program.init_state(),
@@ -259,6 +267,14 @@ class ReplicaRuntime:
 
     def _on_veto(self, payloads, collision, *, which: int,
                  vr: VirtualRound | None = None) -> None:
+        if not self.core.has_instance():
+            # Pre-instance veto phase (e.g. right after a reset
+            # re-anchored the core): inert until the next ballot phase
+            # begins an instance.
+            return
+        # Tag-only filtering: the tag is per virtual node, and replicas
+        # of one VN move through the phase grid in lockstep, so the
+        # instance field carries no extra information here.
         veto = any(
             isinstance(p, VetoPayload) and p.tag == self.tag for p in payloads
         )

@@ -62,7 +62,8 @@ class VIWorld:
                  min_schedule_length: int = 1,
                  schedule: Schedule | None = None,
                  use_reference_history: bool | None = None,
-                 use_reference_engine: bool | None = None) -> None:
+                 use_reference_engine: bool | None = None,
+                 use_reference_core: bool | None = None) -> None:
         if set(programs) != {site.vn_id for site in sites}:
             raise ConfigurationError(
                 "programs must be keyed exactly by the site vn_ids"
@@ -70,6 +71,7 @@ class VIWorld:
         self.sites = list(sites)
         self.programs = dict(programs)
         self.use_reference_history = use_reference_history
+        self.use_reference_core = use_reference_core
         self.region_radius = r1 / 4.0
         if schedule is None:
             schedule = build_schedule(sites, r1=r1, r2=r2,
@@ -135,6 +137,7 @@ class VIWorld:
             client=client,
             initially_active=initially_active,
             use_reference_history=self.use_reference_history,
+            use_reference_core=self.use_reference_core,
         )
         device_holder.append(device)
         node_id = self.sim.add_node(device, mobility, start_round=start_round)

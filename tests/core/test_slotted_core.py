@@ -1,0 +1,388 @@
+"""Unit and regression tests for the slotted protocol core (PR 7).
+
+Three concerns live here:
+
+* **View semantics** — ``SlottedChaCore.status`` / ``.ballots`` are live
+  writable mappings over the parallel arrays and must behave exactly
+  like the reference core's dicts (tests and tools mutate protocol
+  state through them).
+* **Pre-instance inertness** — the mid-grid power-up bugfix: a process
+  whose first simulated round lands on a veto phase used to crash with
+  ``KeyError: 0``; now veto phases before the first ``begin_instance``
+  send nothing and receive nothing, in both cores, end to end through
+  ``Simulator.add_node(start_round=...)``.
+* **Instance-scoped vetoes** — the same-tag grid-shift bugfix: a veto
+  payload for a *different* instance (stale, or from a same-tag
+  ensemble on a shifted grid) must not demote this instance.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.baselines.two_phase_cha import TwoPhaseChaProcess
+from repro.contention import LeaderElectionCM
+from repro.core import ChaCore, CheckpointChaCore, check_agreement, check_validity
+from repro.core.ballot import Ballot, BallotPayload, VetoPayload
+from repro.core.cha import CHAProcess
+from repro.core.checkpoint import CheckpointCHAProcess
+from repro.core.history import new_chain_generation
+from repro.core.runner import cluster_positions, default_proposer
+from repro.core.slotted import SlottedChaCore, SlottedCheckpointChaCore
+from repro.net import Simulator
+from repro.net.channel import RadioSpec
+from repro.net.messages import Message, RoundBatch
+from repro.types import BOTTOM, Color
+
+pytestmark = pytest.mark.fast
+
+BOTH_CORES = [True, False]
+
+
+def _core(core_ref: bool, **kwargs):
+    cls = ChaCore if core_ref else SlottedChaCore
+    return cls(propose=lambda k: f"v{k}", **kwargs)
+
+
+def _drive_instance(core, *, ballot: Ballot | None = None,
+                    veto1: bool = False, veto2: bool = False):
+    """One full instance: ballot reception, then both veto receptions."""
+    payload = core.begin_instance()
+    received = ballot if ballot is not None else payload.ballot
+    core.on_ballot_reception([received], False)
+    core.on_veto1_reception(veto1, False)
+    return core.on_veto2_reception(veto2, False)
+
+
+# ----------------------------------------------------------------------
+# View semantics
+# ----------------------------------------------------------------------
+
+
+class TestStatusView:
+    def test_mapping_protocol(self):
+        core = _core(False)
+        core.status[3] = Color.RED
+        core.status[1] = Color.GREEN
+        assert core.status[3] is Color.RED
+        assert len(core.status) == 2
+        assert list(core.status) == [1, 3]  # ascending instances
+        assert core.status == {1: Color.GREEN, 3: Color.RED}
+        assert core.status.get(2) is None
+        with pytest.raises(KeyError):
+            core.status[2]
+        del core.status[3]
+        assert core.status == {1: Color.GREEN}
+
+    def test_setter_replaces_contents(self):
+        core = _core(False)
+        core.status[5] = Color.ORANGE
+        core.status = {2: Color.YELLOW}
+        assert core.status == {2: Color.YELLOW}
+
+    def test_color_of_defaults_green(self):
+        core = _core(False)
+        assert core.color_of(7) is Color.GREEN
+        core.status[7] = Color.ORANGE
+        assert core.color_of(7) is Color.ORANGE
+
+
+class TestBallotView:
+    def test_mapping_protocol(self):
+        core = _core(False)
+        b = Ballot("x", 0)
+        core.ballots[2] = b
+        assert core.ballots[2] is b  # the stored object is retained
+        assert core.ballots == {2: b}
+        del core.ballots[2]
+        assert core.ballots == {}
+        with pytest.raises(KeyError):
+            core.ballots[2]
+
+    def test_materialises_equal_ballots(self):
+        """After a wire reception the view rebuilds an equal Ballot."""
+        core = _core(False)
+        _drive_instance(core)
+        assert core.ballots[1] == Ballot("v1", 0)
+
+    def test_resident_entries_matches_reference(self):
+        ref, slot = _core(True), _core(False)
+        for core in (ref, slot):
+            _drive_instance(core)
+            _drive_instance(core, veto1=True)   # orange: ballot kept
+            core.begin_instance()
+            core.on_ballot_reception([], False)  # red: no ballot stored
+        assert slot.resident_entries() == ref.resident_entries()
+
+
+# ----------------------------------------------------------------------
+# Snapshot interop between the two cores
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotInterop:
+    @pytest.mark.parametrize("src_ref,dst_ref", [(True, False), (False, True)])
+    def test_snapshot_restores_across_cores(self, src_ref, dst_ref):
+        src = _core(src_ref)
+        _drive_instance(src)
+        _drive_instance(src, veto2=True)  # yellow
+        snap = src.snapshot()
+        dst = _core(dst_ref)
+        dst.restore(snap)
+        assert dst.snapshot() == snap
+        assert dst.current_history() == src.current_history()
+        # Both continue identically from the adopted state (outputs
+        # produced before the snapshot stay with the source).
+        assert _drive_instance(dst) == _drive_instance(src)
+        assert dst.outputs == src.outputs[-1:]
+
+    def test_snapshots_pickle_identically(self):
+        ref, slot = _core(True), _core(False)
+        for core in (ref, slot):
+            _drive_instance(core)
+            _drive_instance(core, veto1=True)
+        assert pickle.dumps(slot.snapshot()) == pickle.dumps(ref.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Pre-instance inertness (the mid-grid power-up bugfix)
+# ----------------------------------------------------------------------
+
+
+class TestPreInstanceInertness:
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    def test_fresh_core_wants_no_veto(self, core_ref):
+        core = _core(core_ref)
+        assert not core.has_instance()
+        assert not core.wants_veto1()
+        assert not core.wants_veto2()
+        assert core.veto1_payload() is None
+        assert core.veto2_payload() is None
+
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    @pytest.mark.parametrize("start_round", [1, 2])
+    def test_cha_process_survives_pre_instance_rounds(self, core_ref,
+                                                      start_round):
+        """The exact reported repro: round 0 lands on a veto phase."""
+        proc = CHAProcess(propose=lambda k: k, start_round=start_round,
+                          use_reference_core=core_ref)
+        assert proc.send(0, False) is None
+        assert proc.send(0, True) is None
+        stray = Message(1, VetoPayload("cha", 3, 1))
+        proc.deliver(0, (stray,), False)
+        proc.deliver_batch(0, (stray,), False, RoundBatch({1: stray}))
+        assert proc.outputs == []
+        assert not proc.core.has_instance()
+
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    def test_checkpoint_process_survives_pre_instance_rounds(self, core_ref):
+        proc = CheckpointCHAProcess(
+            propose=lambda k: k, reducer=lambda s, k, v: s, initial_state=0,
+            start_round=1, use_reference_core=core_ref)
+        assert proc.send(0, False) is None
+        proc.deliver(0, (), False)
+        assert proc.outputs == []
+
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    def test_two_phase_process_survives_pre_instance_rounds(self, core_ref):
+        proc = TwoPhaseChaProcess(propose=lambda k: k,
+                                  use_reference_core=core_ref)
+        # Odd round = veto phase; no instance has begun yet.
+        assert proc.send(1, False) is None
+        proc.deliver(1, (Message(1, VetoPayload("2pc-cha", 1, 1)),), False)
+        assert proc.outputs == []
+
+
+# ----------------------------------------------------------------------
+# Instance-scoped veto reception (the same-tag grid-shift bugfix)
+# ----------------------------------------------------------------------
+
+
+class TestInstanceScopedVetoes:
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_stale_veto_is_ignored(self, core_ref, batched):
+        """A veto for another instance (a shifted-grid ensemble's, or a
+        stale one) must not demote the current instance."""
+        proc = CHAProcess(propose=default_proposer(0),
+                          use_reference_core=core_ref)
+        payload = proc.send(0, True)
+        proc.deliver(0, (Message(0, payload),), False)
+        proc.send(1, False)
+        stale = Message(1, VetoPayload("cha", 99, 1))
+
+        def deliver(r, msg):
+            if batched:
+                proc.deliver_batch(r, (msg,), False, RoundBatch({1: msg}))
+            else:
+                proc.deliver(r, (msg,), False)
+
+        deliver(1, stale)
+        assert proc.core.color_of(1) is Color.GREEN
+        proc.send(2, False)
+        deliver(2, Message(1, VetoPayload("cha", 99, 2)))
+        assert proc.core.color_of(1) is Color.GREEN
+        (k, out), = proc.outputs
+        assert k == 1 and out is not BOTTOM  # decided despite the noise
+
+    @pytest.mark.parametrize("core_ref", BOTH_CORES)
+    def test_matching_veto_still_demotes(self, core_ref):
+        """The filter must not be over-broad: a veto for *this* instance
+        keeps its seed semantics."""
+        proc = CHAProcess(propose=default_proposer(0),
+                          use_reference_core=core_ref)
+        payload = proc.send(0, True)
+        proc.deliver(0, (Message(0, payload),), False)
+        proc.send(1, False)
+        proc.deliver(1, (), False)
+        proc.send(2, False)
+        proc.deliver(2, (Message(1, VetoPayload("cha", 1, 2)),), False)
+        assert proc.core.color_of(1) is Color.YELLOW
+        (k, out), = proc.outputs
+        assert k == 1 and out is BOTTOM
+
+
+# ----------------------------------------------------------------------
+# End-to-end mid-grid joins
+# ----------------------------------------------------------------------
+
+
+def _midgrid_simulator():
+    # One execution = one chain-interning generation (the experiment
+    # stepper's rule); these tests drive the Simulator directly and
+    # compare pickles across executions, so they follow it themselves.
+    new_chain_generation()
+    return Simulator(spec=RadioSpec(r1=1.0, r2=1.5, rcf=0),
+                     cms={"C": LeaderElectionCM(stable_round=0)})
+
+
+def _run_midgrid_cha(core_ref, *, checkpoint=False):
+    """3 veterans from round 0 plus a node powered up at round 10 —
+    off its own 3-round grid, so its first rounds are veto phases."""
+    sim = _midgrid_simulator()
+    positions = cluster_positions(4)
+    procs = {}
+    for node in range(4):
+        if checkpoint:
+            proc = CheckpointCHAProcess(
+                propose=default_proposer(node),
+                reducer=lambda s, k, v: (s or 0) + 1, initial_state=0,
+                use_reference_core=core_ref)
+        else:
+            proc = CHAProcess(propose=default_proposer(node),
+                              use_reference_core=core_ref)
+        start = 10 if node == 3 else 0
+        sim.add_node(proc, positions[node], start_round=start)
+        procs[node] = proc
+    sim.run(30)
+    return procs
+
+
+class TestMidGridJoin:
+    @pytest.mark.parametrize("checkpoint", [False, True])
+    def test_join_runs_and_veterans_agree(self, checkpoint):
+        observables = []
+        for core_ref in BOTH_CORES:
+            procs = _run_midgrid_cha(core_ref, checkpoint=checkpoint)
+            outputs = {n: p.outputs for n, p in procs.items()}
+            proposals = {n: p.proposals_made for n, p in procs.items()}
+            veterans = {n: outputs[n] for n in (0, 1, 2)}
+            if not checkpoint:  # checkpoint outputs are not OutputLogs
+                check_validity(veterans, proposals)
+                check_agreement(veterans)
+            # The joiner's grid is shifted: it never hears a matching
+            # ballot, so every instance it runs is red/bottom — but it
+            # must run them without crashing.
+            assert procs[3].outputs
+            assert all(out is BOTTOM for _, out in procs[3].outputs)
+            observables.append(pickle.dumps((outputs, proposals)))
+        assert observables[0] == observables[1]  # cores byte-identical
+
+    def test_two_phase_join_runs(self):
+        observables = []
+        for core_ref in BOTH_CORES:
+            sim = _midgrid_simulator()
+            positions = cluster_positions(4)
+            procs = {}
+            for node in range(4):
+                proc = TwoPhaseChaProcess(propose=default_proposer(node),
+                                          use_reference_core=core_ref)
+                start = 9 if node == 3 else 0  # odd: lands on a veto phase
+                sim.add_node(proc, positions[node], start_round=start)
+                procs[node] = proc
+            sim.run(24)
+            veterans = {n: procs[n].outputs for n in (0, 1, 2)}
+            check_agreement(veterans)
+            assert all(out is BOTTOM for _, out in procs[3].outputs)
+            observables.append(pickle.dumps(
+                {n: p.outputs for n, p in procs.items()}))
+        assert observables[0] == observables[1]
+
+    def test_shifted_grid_same_tag_ensembles(self):
+        """Two same-tag CHA ensembles on grids shifted by one round share
+        the channel; instance-scoped vetoes keep each decisive."""
+        observables = []
+        for core_ref in BOTH_CORES:
+            sim = _midgrid_simulator()
+            positions = cluster_positions(6)
+            procs = {}
+            for node in range(6):
+                shifted = node >= 3
+                proc = CHAProcess(propose=default_proposer(node),
+                                  start_round=1 if shifted else 0,
+                                  use_reference_core=core_ref)
+                sim.add_node(proc, positions[node],
+                             start_round=1 if shifted else 0)
+                procs[node] = proc
+            sim.run(31)
+            for group in ((0, 1, 2), (3, 4, 5)):
+                check_agreement({n: procs[n].outputs for n in group})
+                assert all(procs[n].outputs for n in group)
+            observables.append(pickle.dumps(
+                {n: p.outputs for n, p in procs.items()}))
+        assert observables[0] == observables[1]
+
+
+# ----------------------------------------------------------------------
+# Payload pooling: zero steady-state wire allocations
+# ----------------------------------------------------------------------
+
+
+def test_pooled_run_allocates_no_wire_objects_in_steady_state(monkeypatch):
+    """With ``keep_trace=False`` the runner pools wire payloads: after
+    warm-up, stepping more rounds constructs zero ``BallotPayload``,
+    ``Ballot`` or ``VetoPayload`` objects."""
+    from repro import CHA, ClusterWorld, ExperimentSpec, WorkloadSpec
+    from repro.experiment.runner import ExperimentStepper
+
+    # Count ``__init__`` calls, not ``__new__``: restoring a patched
+    # ``__new__`` on a class that never defined one leaves a slot
+    # dispatcher behind that forwards ctor args to ``object.__new__``
+    # and poisons every later construction in the process.  ``__init__``
+    # lives in each dataclass's own ``__dict__``, so monkeypatch
+    # restores it exactly — and the pooled path mutates payloads via
+    # ``object.__setattr__`` without ever re-entering ``__init__``.
+    counts = {"BallotPayload": 0, "Ballot": 0, "VetoPayload": 0}
+    for cls in (BallotPayload, Ballot, VetoPayload):
+        def counting_init(self, *args, _name=cls.__name__,
+                          _orig=cls.__init__, **kwargs):
+            counts[_name] += 1
+            _orig(self, *args, **kwargs)
+        monkeypatch.setattr(cls, "__init__", counting_init)
+
+    spec = ExperimentSpec(
+        protocol=CHA(),
+        world=ClusterWorld(n=4),
+        workload=WorkloadSpec(instances=20),
+        keep_trace=False,
+    )
+    stepper = ExperimentStepper(spec)
+    stepper.step(6)  # warm-up: pooled payloads are created lazily
+    warm = dict(counts)
+    assert warm["BallotPayload"] > 0  # the pool itself was built
+    stepper.step(30)
+    assert counts == warm, "steady-state rounds allocated wire objects"
+    result = stepper.finish()
+    assert result.invariants == {}
