@@ -18,6 +18,12 @@ re-walking history fold — the same four switches
 globally — giving the machine-independent ``speedup_vs_reference``
 ratio the regression gate (:mod:`repro.bench.compare`) is keyed on.
 
+Scenarios with :attr:`~.scenarios.BenchScenario.serial_baseline` set
+swap that reference trial for the *same* spec pinned to ``shards=1``:
+their ratio is the sharded engine against its serial twin (mirrored
+into ``extras["speedup_vs_serial"]``), which is machine-*dependent* —
+it needs real cores — so such scenarios ship ungated.
+
 ``run_benchmarks(..., workers=N)`` fans whole scenarios out over
 :func:`repro.experiment.sweep.pool_map` (the sweep subsystem's worker
 pool); each scenario is still timed inside its own dedicated process, so
@@ -101,13 +107,20 @@ def _time_once(scenario: BenchScenario, *,
                reference: bool) -> tuple[float, int, dict[str, float]]:
     """One trial: returns (wall_s, rounds, phase breakdown)."""
     spec = scenario.make_spec()
+    serial_baseline = scenario.serial_baseline
     if reference:
-        spec = dataclasses.replace(spec, use_reference_history=True,
-                                   use_reference_core=True)
+        if serial_baseline:
+            # The "reference" trial is the same spec pinned to the
+            # serial engine: speedup_vs_reference becomes sharded vs
+            # serial on an otherwise identical fast-path stack.
+            spec = dataclasses.replace(spec, shards=1)
+        else:
+            spec = dataclasses.replace(spec, use_reference_history=True,
+                                       use_reference_core=True)
     timer_box: list[_ChannelTimer] = []
 
     def instrument(sim) -> None:
-        if reference:
+        if reference and not serial_baseline:
             sim.fast_path = False
             sim.channel.use_reference = True
             sim.use_reference_engine = True
@@ -169,6 +182,7 @@ def _run_load_scenario(scenario: LoadScenario, *, repeats: int,
             "decisions_observed": best["decisions_observed"],
             "decision_latency_s": best["decision_latency_s"],
             "dropped_events": best["dropped_events"],
+            "dropped_samples": best["dropped_samples"],
             "unserved": best["unserved"],
             "invariants": best["invariants"],
         },
@@ -197,8 +211,12 @@ def run_scenario(scenario: BenchScenario | LoadScenario, *, repeats: int = 3,
         rounds_per_sec=rounds / wall if wall > 0 else 0.0,
         phases=phases,
     )
+    if scenario.serial_baseline:
+        result.extras["shards"] = scenario.make_spec().shards
     if reference:
-        say(f"  {scenario.name}: reference path x{repeats} ...")
+        label = ("serial engine" if scenario.serial_baseline
+                 else "reference path")
+        say(f"  {scenario.name}: {label} x{repeats} ...")
         ref_trials = [_time_once(scenario, reference=True)
                       for _ in range(repeats)]
         ref_wall, ref_rounds, _ = min(ref_trials, key=lambda t: t[0])
@@ -207,6 +225,11 @@ def run_scenario(scenario: BenchScenario | LoadScenario, *, repeats: int = 3,
             ref_rounds / ref_wall if ref_wall > 0 else 0.0)
         if wall > 0:
             result.speedup_vs_reference = ref_wall / wall
+        if scenario.serial_baseline:
+            # The acceptance metric for the sharded engine: the same
+            # fast-path stack, shards=N vs shards=1.
+            result.extras["speedup_vs_serial"] = result.speedup_vs_reference
+            result.extras["serial_wall_s"] = ref_wall
     return result
 
 

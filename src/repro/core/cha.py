@@ -34,7 +34,7 @@ from typing import Any, Callable, Iterable, Mapping
 from ..errors import ProtocolError
 from ..net.messages import MIXED_TAGS, Message
 from ..net.node import Process
-from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Round, Value
+from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Round, Sentinel, Value
 from .ballot import Ballot, BallotPayload, VetoPayload
 from .history import (
     HISTORY_TIMER,
@@ -56,7 +56,7 @@ PHASE_VETO2 = 2
 _NO_PAYLOADS: tuple = ()
 
 #: Batch-memo miss sentinel (``None`` and ``False`` are real values).
-_UNDECODED = object()
+_UNDECODED = Sentinel(__name__, "_UNDECODED")
 
 
 def calculate_history_reference(instance: Instance, prev: Instance,

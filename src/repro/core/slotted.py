@@ -40,7 +40,7 @@ from collections.abc import MutableMapping
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..errors import ProtocolError
-from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Value
+from ..types import BOTTOM, Color, Instance, NO_INSTANCE, Sentinel, Value
 from .ballot import Ballot, BallotPayload, VetoPayload
 from .cha import calculate_history_reference
 from .checkpoint import CheckpointOutput, Reducer
@@ -75,7 +75,9 @@ _COLORS = (Color.RED, Color.ORANGE, Color.YELLOW, Color.GREEN)
 
 #: Absent-ballot sentinel in the ballot-value array (``None`` is a legal
 #: value in V's Python realisation, so absence needs its own object).
-_ABSENT = object()
+#: Pickle-stable: fresh cores carry it in their arrays, and a process
+#: shipped to a shard worker must keep satisfying ``is _ABSENT`` checks.
+_ABSENT = Sentinel(__name__, "_ABSENT")
 
 
 class _StatusView(MutableMapping):

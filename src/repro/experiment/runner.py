@@ -35,6 +35,7 @@ from ..core.spec import check_agreement, check_liveness, check_validity
 from ..detectors import EventuallyAccurateDetector
 from ..errors import ConfigurationError, SimulationError, SpecViolation
 from ..net import RadioSpec, Simulator
+from ..net.shard import ShardedSimulator, shards_forced
 from ..types import BOTTOM, NodeId
 from ..vi.world import VIWorld
 from .observers import WireStatsObserver
@@ -584,16 +585,37 @@ class _ClusterExecution(_Execution):
         self.wire = wire
         self.rpi = rpi
         self.total_ticks = rounds
+        # The fifth reference-style switch: spec.shards, or REPRO_SHARDS
+        # when the spec leaves it open.  Workers fork lazily on the
+        # first step, so the instrument hook above is inherited.
+        shards = spec.shards if spec.shards is not None else shards_forced()
+        self.shard: ShardedSimulator | None = None
+        if shards is not None and shards > 1:
+            if isinstance(protocol, MajorityRSM) or (
+                    isinstance(protocol, CHA)
+                    and protocol.process_factory is not None):
+                raise ConfigurationError(
+                    "sharded execution covers the built-in CHA-family "
+                    "protocols (cha, checkpoint-cha, naive-rsm, "
+                    "two-phase-cha); majority-rsm and custom process "
+                    "factories run serially"
+                )
+            self.shard = ShardedSimulator(sim, shards,
+                                          plan_positions=positions)
 
     def step(self, ticks: int) -> int:
         ran = min(ticks, self.total_ticks - self.ticks_run)
-        sim = self.simulator
+        stepper = self.shard if self.shard is not None else self.simulator
         for _ in range(ran):
-            sim.step()
+            stepper.step()
         self.ticks_run += ran
         return ran
 
     def finalize(self) -> ExperimentResult:
+        if self.shard is not None:
+            # Fast-mode workers hold the authoritative protocol state
+            # until it is shipped home here; mirror mode cross-checks.
+            self.shard.finish()
         spec, sim, processes = self.spec, self.simulator, self.processes
         protocol, rounds = spec.protocol, self.total_ticks
         trace = sim.trace

@@ -254,10 +254,27 @@ class ExperimentSpec:
     #: construction time — the fourth reference switch alongside the
     #: channel, history and engine axes.
     use_reference_core: bool | None = None
+    #: Run this experiment's round engine sharded across that many worker
+    #: processes (:mod:`repro.net.shard`), each owning a contiguous strip
+    #: of grid-cell columns and exchanging only boundary-cell payloads.
+    #: ``None`` defers to the ``REPRO_SHARDS`` environment switch — the
+    #: fifth reference-style axis; ``1`` pins the run serial.  Cluster
+    #: worlds with the built-in CHA-family protocols only.
+    shards: int | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent combinations."""
         protocol, world, workload = self.protocol, self.world, self.workload
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.shards is not None and self.shards > 1 and not isinstance(
+                world, ClusterWorld):
+            raise ConfigurationError(
+                "sharded execution (shards > 1) currently covers cluster "
+                "worlds only"
+            )
         if isinstance(protocol, ThreePhaseCommit):
             if world is not None:
                 raise ConfigurationError(

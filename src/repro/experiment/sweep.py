@@ -73,23 +73,40 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
     ]
 
 
-def pool_map(fn, jobs: Sequence[Any], *, workers: int) -> list[Any]:
+def pool_context(start_method: str | None = None) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the sweep pool runs under.
+
+    Always an *explicitly named* start method — never the platform
+    default, whose identity varies across OS and Python versions and
+    would make the serial-vs-parallel byte-identity claim untestable.
+    With ``start_method=None`` the preference order is ``fork`` (cheap,
+    inherits interning state) then ``spawn`` (universal).
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    for method in ("fork", "spawn"):
+        if method in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context(  # pragma: no cover - exotic platforms
+        multiprocessing.get_all_start_methods()[0])
+
+
+def pool_map(fn, jobs: Sequence[Any], *, workers: int,
+             start_method: str | None = None) -> list[Any]:
     """Map a picklable function over jobs on the sweep worker pool.
 
     The shared fan-out plumbing behind :func:`sweep` and
     :func:`repro.bench.run_benchmarks`: ``workers == 1`` runs serially
     in-process; otherwise the jobs ship to a ``multiprocessing`` pool
-    (fork where available) with ``chunksize=1`` so long jobs interleave.
+    under :func:`pool_context` (an explicitly pinned start method)
+    with ``chunksize=1`` so long jobs interleave.
     """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
     jobs = list(jobs)
     if workers == 1 or not jobs:
         return [fn(job) for job in jobs]
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        ctx = multiprocessing.get_context()
+    ctx = pool_context(start_method)
     with ctx.Pool(min(workers, len(jobs))) as pool:
         return pool.map(fn, jobs, chunksize=1)
 
@@ -109,8 +126,14 @@ def _run_point(job: tuple[ExperimentSpec, dict[str, Any]]) -> SweepPoint:
 
 
 def sweep(spec: ExperimentSpec, grid: Mapping[str, Sequence[Any]], *,
-          workers: int = 1) -> list[SweepPoint]:
-    """Run ``spec`` across a parameter grid, optionally in parallel."""
+          workers: int = 1, start_method: str | None = None) -> list[SweepPoint]:
+    """Run ``spec`` across a parameter grid, optionally in parallel.
+
+    ``start_method`` pins the multiprocessing start method (``"fork"`` /
+    ``"spawn"`` / ``"forkserver"``); ``None`` picks the
+    :func:`pool_context` default.  Results are byte-identical across
+    methods — the agreement suite runs both where available.
+    """
     if workers < 1:
         raise ConfigurationError("workers must be at least 1")
     jobs = [(spec, overrides) for overrides in expand_grid(grid)]
@@ -118,4 +141,5 @@ def sweep(spec: ExperimentSpec, grid: Mapping[str, Sequence[Any]], *,
         # Private copy per point, mirroring what pickling gives workers.
         return [_run_point((copy.deepcopy(base), overrides))
                 for base, overrides in jobs]
-    return pool_map(_run_point, jobs, workers=workers)
+    return pool_map(_run_point, jobs, workers=workers,
+                    start_method=start_method)

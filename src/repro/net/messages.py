@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any
 
-from ..types import NodeId
+from ..types import NodeId, Sentinel
 
 #: Size charged for an integer field.  The paper's footnote 3 ("we consider
 #: an array index to be of constant size") licenses a fixed cost for
@@ -84,12 +84,14 @@ class Message:
 
 
 #: Sentinel: the round batch has not classified its broadcasts yet.
-_UNRESOLVED = object()
+_UNRESOLVED = Sentinel(__name__, "_UNRESOLVED")
 
 #: Sentinel returned by :meth:`RoundBatch.uniform_tag` when the round's
 #: broadcasts carry no single common ``tag`` (or there are none at all).
 #: Distinct from any real tag, including ``None``-tagged payloads.
-MIXED_TAGS = object()
+#: Pickle-stable so ``is MIXED_TAGS`` keeps working for any state that
+#: crosses a process boundary (e.g. the sharded engine's workers).
+MIXED_TAGS = Sentinel(__name__, "MIXED_TAGS")
 
 
 class RoundBatch:

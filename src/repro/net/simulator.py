@@ -166,9 +166,20 @@ class Simulator:
         ``mobility`` may be a bare :class:`Point` as shorthand for a static
         node at that position.  ``start_round`` models a device that powers
         on late (it neither transmits, receives, nor interferes earlier).
+
+        On a running world ``start_round`` must not predate the current
+        round: a node "powering on" in the past would claim rounds that
+        already executed without it, silently breaking the pre-instance
+        inertness contract (its early rounds never happened, yet
+        ``alive()`` and the crash bookkeeping would report them as lived).
         """
         if start_round < 0:
             raise ConfigurationError("start_round must be non-negative")
+        if start_round < self._round:
+            raise ConfigurationError(
+                f"start_round {start_round} predates the current round "
+                f"{self._round}: a mid-run node cannot power on in the past"
+            )
         if isinstance(mobility, Point):
             mobility = StaticMobility(mobility)
         node_id = len(self._nodes)
@@ -421,34 +432,23 @@ class Simulator:
         self._round += 1
         return record
 
-    def _step_batched(self) -> RoundRecord:
-        """The batched dispatch engine (the default round loop).
+    def _positions_batched(self, r: Round) -> tuple[
+            list[NodeId], dict[NodeId, Point], bool]:
+        """The batched engine's mobility & liveness block.
 
-        Observably identical to :meth:`_step_reference` — same component
-        call sequences (contention managers, adversary and detector RNG
-        streams, process methods) and identical round-record object
-        graphs — but organised round-at-a-time instead of node-at-a-time:
-
-        * the position map is maintained through the mobility dirty-set
-          protocol (copy last round's map, touch only nodes whose model
-          reports movement) instead of n ``position_at`` dispatches;
-        * payload collection runs over prebound send methods and hands
-          the channel the whole batch (with its already-sorted sender
-          list) in one call;
-        * deliveries share a single per-round :class:`RoundBatch`, so
-          protocols with a ``deliver_batch`` override decode the round's
-          broadcasts once for all receivers;
-        * contention bookkeeping is skipped outright when no registered
-          process can ever contend.
+        Returns ``(present, positions, unchanged)`` for round ``r``
+        exactly as :meth:`_step_batched` computes them (steady-state
+        cache, dirty-set protocol, identical mobility call sequences).
+        Factored out so the sharded executor (:mod:`repro.net.shard`)
+        can derive every process's position map with byte-identical
+        semantics; callers are responsible for the follow-up
+        ``locations.observe`` / ``_last_present`` / ``_batch_prev``
+        bookkeeping.
         """
-        r = self._round
         nodes = self._nodes
         fast = self.fast_path
-        crashes = self.crashes
-        no_crashes = fast and not len(crashes)
+        no_crashes = fast and not len(self.crashes)
         steady = no_crashes and self._max_start <= r
-
-        # -- mobility & liveness ---------------------------------------
         if steady and self._all_static:
             present = self._node_list
             if self._steady_positions is None:
@@ -505,6 +505,37 @@ class Simulator:
                 unchanged = (all_static
                              and present == self._last_present
                              and self._positions_observed)
+        return present, positions, unchanged
+
+    def _step_batched(self) -> RoundRecord:
+        """The batched dispatch engine (the default round loop).
+
+        Observably identical to :meth:`_step_reference` — same component
+        call sequences (contention managers, adversary and detector RNG
+        streams, process methods) and identical round-record object
+        graphs — but organised round-at-a-time instead of node-at-a-time:
+
+        * the position map is maintained through the mobility dirty-set
+          protocol (copy last round's map, touch only nodes whose model
+          reports movement) instead of n ``position_at`` dispatches;
+        * payload collection runs over prebound send methods and hands
+          the channel the whole batch (with its already-sorted sender
+          list) in one call;
+        * deliveries share a single per-round :class:`RoundBatch`, so
+          protocols with a ``deliver_batch`` override decode the round's
+          broadcasts once for all receivers;
+        * contention bookkeeping is skipped outright when no registered
+          process can ever contend.
+        """
+        r = self._round
+        nodes = self._nodes
+        fast = self.fast_path
+        crashes = self.crashes
+        no_crashes = fast and not len(crashes)
+        steady = no_crashes and self._max_start <= r
+
+        # -- mobility & liveness ---------------------------------------
+        present, positions, unchanged = self._positions_batched(r)
         if (fast and unchanged
                 and self.locations.staleness_bound == 0):
             pass  # see _step_reference: re-observing would be a no-op

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ServiceError
 from ..experiment.spec import ExperimentSpec
+from ..types import Sentinel
 from .server import ConsensusService, InProcessClient, ServiceConfig
 
 PATTERNS = ("flash", "ramp", "churn")
@@ -41,6 +42,11 @@ class LoadProfile:
     ramp_s: float = 0.25  #: arrival spread for the ``ramp`` pattern.
     churn_rate: float = 0.5  #: P(reconnect after a decision), ``churn``.
     seed: int = 0
+    #: Upper bound on the propose→decision wait.  A decision that was
+    #: drop-oldest-evicted from a slow session's queue never arrives, so
+    #: an unbounded wait deadlocks the client; a timed-out sample counts
+    #: as ``dropped_samples`` and the client moves on.
+    decision_wait_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
@@ -49,6 +55,8 @@ class LoadProfile:
             )
         if self.sessions < 1:
             raise ValueError("sessions must be >= 1")
+        if self.decision_wait_s <= 0:
+            raise ValueError("decision_wait_s must be positive")
 
 
 @dataclass
@@ -63,6 +71,10 @@ class _Tally:
     unserved: int = 0  #: proposals whose decision never arrived.
     reconnects: int = 0
     dropped_events: int = 0
+    #: Latency samples abandoned because the decision wait timed out
+    #: (the event was evicted from the session queue, or the world is
+    #: slower than :attr:`LoadProfile.decision_wait_s`).
+    dropped_samples: int = 0
     latencies_s: list[float] = field(default_factory=list)
 
 
@@ -82,15 +94,31 @@ def percentiles(samples: list[float],
     return out
 
 
-async def _await_decision(client: InProcessClient, instance: int) -> dict | None:
-    """Consume the stream until ``instance`` decides.
+#: Sentinel: the decision wait exceeded ``decision_wait_s`` — the event
+#: was (most likely) drop-oldest-evicted and will never arrive.
+_TIMED_OUT = Sentinel(__name__, "_TIMED_OUT")
+
+
+async def _await_decision(client: InProcessClient, instance: int,
+                          wait_s: float) -> dict | object | None:
+    """Consume the stream until ``instance`` decides, bounded by ``wait_s``.
 
     Returns ``None`` if the world completes (or the service shuts down)
     without that decision arriving — which happens legitimately when the
-    slow-consumer policy dropped it, or the workload ran out.
+    workload ran out — and :data:`_TIMED_OUT` once ``wait_s`` elapses
+    with no decision.  The timeout is what keeps a closed-loop client
+    from waiting forever on a decision event the slow-consumer policy
+    evicted from its queue before it was read.
     """
+    deadline = time.monotonic() + wait_s
     while True:
-        event = await client.next_event()
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return _TIMED_OUT
+        try:
+            event = await asyncio.wait_for(client.next_event(), remaining)
+        except asyncio.TimeoutError:
+            return _TIMED_OUT
         kind = event["type"]
         if kind == "decision" and event["instance"] == instance:
             return event
@@ -133,7 +161,14 @@ async def _client_loop(service: ConsensusService, profile: LoadProfile,
                 tally.unserved += (profile.proposals_per_session - attempt)
                 break
             tally.proposals_accepted += 1
-            decision = await _await_decision(client, instance)
+            decision = await _await_decision(client, instance,
+                                             profile.decision_wait_s)
+            if decision is _TIMED_OUT:
+                # The decision exists in the world but its event never
+                # reached this session (evicted, or simply too slow):
+                # abandon the latency sample and keep the loop closed.
+                tally.dropped_samples += 1
+                continue
             if decision is None:
                 tally.unserved += (profile.proposals_per_session - attempt)
                 break
@@ -205,6 +240,7 @@ async def run_load(spec: ExperimentSpec, profile: LoadProfile,
         "decisions_observed": tally.decisions_observed,
         "unserved": tally.unserved,
         "dropped_events": tally.dropped_events,
+        "dropped_samples": tally.dropped_samples,
         "decision_latency_s": percentiles(tally.latencies_s),
         "world_decisions": service.driver.decisions_published,
         "invariants": dict(service.driver.result.invariants

@@ -35,6 +35,36 @@ Value: TypeAlias = Hashable
 #: that "no value" round-trips naturally through Python containers.
 BOTTOM = None
 
+
+class Sentinel:
+    """A unique marker whose identity survives pickling.
+
+    Bare ``object()`` sentinels break every ``is`` check the moment they
+    cross a process boundary: each unpickle manufactures a fresh object,
+    so state shipped between the sharded engine's workers (or through any
+    other serialisation) stops matching its module's singleton.  A
+    ``Sentinel`` instead pickles as a reference to the module-level name
+    it is bound to, so every process resolves it back to the same object.
+    """
+
+    __slots__ = ("_module", "_name")
+
+    def __init__(self, module: str, name: str) -> None:
+        self._module = module
+        self._name = name
+
+    def __repr__(self) -> str:
+        return f"<{self._name}>"
+
+    def __reduce__(self) -> tuple:
+        return (_resolve_sentinel, (self._module, self._name))
+
+
+def _resolve_sentinel(module: str, name: str) -> Sentinel:
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
 #: The sentinel instance index used before any instance has completed.
 NO_INSTANCE: Instance = 0
 

@@ -158,3 +158,36 @@ class TestEngineSwitchSweep:
                 (point.metrics, point.invariants))
         for key, pairs in by_engine.items():
             assert pairs[0] == pairs[1], key
+
+
+class TestStartMethods:
+    """The byte-identity guarantee must hold under an *explicit* start
+    method — fork inherits module state, spawn re-imports from scratch —
+    not just whatever the platform defaults to."""
+
+    GRID = {"world__n": (2, 3), "workload__instances": (4,)}
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_agreement_under_pinned_start_method(self, method):
+        import multiprocessing
+
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        serial = sweep(seeded_spec(), self.GRID)
+        parallel = sweep(seeded_spec(), self.GRID, workers=2,
+                         start_method=method)
+        assert [pickle.dumps(p) for p in serial] \
+            == [pickle.dumps(p) for p in parallel]
+
+    def test_default_context_is_explicitly_named(self):
+        from repro.experiment.sweep import pool_context
+
+        ctx = pool_context()
+        assert ctx.get_start_method() in ("fork", "spawn")
+        assert pool_context("spawn").get_start_method() == "spawn"
+
+    def test_unknown_start_method_raises(self):
+        from repro.experiment.sweep import pool_context
+
+        with pytest.raises(ValueError):
+            pool_context("telepathy")

@@ -251,3 +251,60 @@ class TestDetectorWiring:
         sim.add_node(listener, Point(1.5, 0))
         sim.run(1)
         assert listener.received == [(0, (), True)]
+
+
+class TestMidRunJoin:
+    """Mid-run ``add_node`` seams: past start rounds and grid occupancy."""
+
+    def test_past_start_round_rejected_on_running_world(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(3)
+        with pytest.raises(ConfigurationError):
+            sim.add_node(Listener(), Point(0.5, 0), start_round=2)
+
+    def test_start_round_at_current_round_accepted(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(3)
+        listener = Listener()
+        node = sim.add_node(listener, Point(0.5, 0), start_round=3)
+        sim.run(1)
+        assert sim.alive(node, 3)
+        assert listener.received == [(3, ("a@3",), False)]
+
+    def test_valid_late_join_hears_from_start_round(self):
+        sim = make_sim()
+        sim.add_node(Chatter("a"), Point(0, 0))
+        sim.run(2)
+        listener = Listener()
+        sim.add_node(listener, Point(0.5, 0), start_round=4)
+        sim.run(4)
+        # Dormant through rounds 2-3, hears rounds 4-5.
+        assert listener.received == [(4, ("a@4",), False), (5, ("a@5",), False)]
+
+    def test_future_start_node_never_buckets_in_grid(self):
+        """A registered-but-unpowered node must not occupy a grid cell.
+
+        The paper's late-start contract: the node "neither transmits,
+        receives, nor interferes earlier" — so before its start round it
+        must be invisible to the spatial index, even when registered
+        mid-run straight into a dense cell.
+        """
+        sim = make_sim()
+        # Dense cell: everyone within one R2-sized bucket.
+        for k in range(6):
+            sim.add_node(Chatter(f"n{k}"), Point(0.1 * k, 0))
+        sim.run(2)
+        listener = Listener()
+        joiner = sim.add_node(listener, Point(0.05, 0.05), start_round=5)
+        for r in range(2, 5):
+            sim.step()
+            assert joiner not in sim.channel._index, (
+                f"dormant node bucketed at round {r}"
+            )
+        sim.step()  # round 5: powered on
+        assert joiner in sim.channel._index
+        # Six simultaneous chatters collide; the joiner still observes the
+        # round (a collision flag), proving it receives only once present.
+        assert [r for r, _, _ in listener.received] == [5]
