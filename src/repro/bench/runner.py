@@ -10,13 +10,15 @@ remainder.
 
 Reference timings re-run the same scenario on the full reference stack:
 the channel pinned to its all-pairs path, the simulator's caches
-disabled *and* its round loop pinned to the seed per-node engine, and
+disabled *and* its round loop pinned to the seed per-node engine,
 every protocol core pinned to the seed dict-based core *and* its
-re-walking history fold — the same four switches
+re-walking history fold, and VI emulations pinned to the seed
+per-device phase dispatch — the same five switches
 ``REPRO_REFERENCE_CHANNEL=1`` / ``REPRO_REFERENCE_HISTORY=1`` /
-``REPRO_REFERENCE_ENGINE=1`` / ``REPRO_REFERENCE_CORE=1`` flip
-globally — giving the machine-independent ``speedup_vs_reference``
-ratio the regression gate (:mod:`repro.bench.compare`) is keyed on.
+``REPRO_REFERENCE_ENGINE=1`` / ``REPRO_REFERENCE_CORE=1`` /
+``REPRO_REFERENCE_VI=1`` flip globally — giving the machine-independent
+``speedup_vs_reference`` ratio the regression gate
+(:mod:`repro.bench.compare`) is keyed on.
 
 Scenarios with :attr:`~.scenarios.BenchScenario.serial_baseline` set
 swap that reference trial for the *same* spec pinned to ``shards=1``:
@@ -116,7 +118,8 @@ def _time_once(scenario: BenchScenario, *,
             spec = dataclasses.replace(spec, shards=1)
         else:
             spec = dataclasses.replace(spec, use_reference_history=True,
-                                       use_reference_core=True)
+                                       use_reference_core=True,
+                                       use_reference_vi=True)
     timer_box: list[_ChannelTimer] = []
 
     def instrument(sim) -> None:

@@ -278,8 +278,20 @@ ALL_SCENARIOS: tuple[BenchScenario | LoadScenario, ...] = (
     ),
     BenchScenario(
         name="vi-grid-64", family="vi", n=64, quick=True,
-        description="VI emulation: 16-site grid, 4 replicas each",
+        description="VI emulation: 16-site grid, 4 replicas each "
+                    "(phase-table engine vs the per-device reference "
+                    "dispatch)",
         make_spec=_vi_grid(16, 4, virtual_rounds=30),
+    ),
+    BenchScenario(
+        name="vi-grid-256", family="vi", n=256,
+        description="VI emulation: 64-site grid, 4 replicas each — the "
+                    "phase-table engine's scale row. Informational like "
+                    "vi-grid-64: the ratio also folds in the slotted-"
+                    "core and history switches, so it is recorded but "
+                    "ungated until it proves stable across machine "
+                    "classes",
+        make_spec=_vi_grid(64, 4, virtual_rounds=15),
     ),
     LoadScenario(
         name="svc-smoke", family="service", n=200, quick=True,

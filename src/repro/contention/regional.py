@@ -41,6 +41,7 @@ class RegionalCM(ContentionManager):
         self.tenure = tenure
         self.stable_round = stable_round
         self._leader: NodeId | None = None
+        self._leader_set: frozenset[NodeId] = frozenset()
         self._elected_at: Round = -1
 
     def _in_region(self, node: NodeId) -> bool:
@@ -51,6 +52,15 @@ class RegionalCM(ContentionManager):
         return self.location.within(where, self.region_radius)
 
     def advise(self, r: Round, contenders: Sequence[NodeId]) -> frozenset[NodeId]:
+        # Steady-state short circuit: a sitting leader that is still
+        # contending and still in-region is retained regardless of the
+        # other contenders, so their region checks can be skipped — the
+        # answer (and every state transition) is identical to the full
+        # scan below.
+        leader = self._leader
+        if leader is not None and r >= self.stable_round \
+                and leader in contenders and self._in_region(leader):
+            return self._leader_set
         eligible = [node for node in sorted(contenders) if self._in_region(node)]
         if not eligible:
             self._leader = None
@@ -60,7 +70,7 @@ class RegionalCM(ContentionManager):
             # modelling an unconverged back-off protocol.
             return frozenset(eligible)
         if self._leader in eligible:
-            return frozenset({self._leader})
+            return self._leader_set
         # Elect the contender nearest the virtual-node location; ties break
         # by node id for determinism.
         self._leader = min(
@@ -68,7 +78,8 @@ class RegionalCM(ContentionManager):
             key=lambda node: (self._locate(node).distance_to(self.location), node),
         )
         self._elected_at = r
-        return frozenset({self._leader})
+        self._leader_set = frozenset({self._leader})
+        return self._leader_set
 
     @property
     def leader(self) -> NodeId | None:

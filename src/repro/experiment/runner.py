@@ -659,6 +659,11 @@ class _EmulationExecution(_Execution):
             use_reference_history=spec.use_reference_history,
             use_reference_engine=spec.use_reference_engine,
             use_reference_core=spec.use_reference_core,
+            use_reference_vi=spec.use_reference_vi,
+            # Pooled wire payloads are only safe when nothing retains
+            # the broadcast objects across rounds (mirrors the cluster
+            # executor's gate).
+            pool_payloads=not spec.keep_trace,
         )
         world.sim.record_trace = spec.keep_trace
         wire = WireStatsObserver()

@@ -254,6 +254,13 @@ class ExperimentSpec:
     #: construction time — the fourth reference switch alongside the
     #: channel, history and engine axes.
     use_reference_core: bool | None = None
+    #: Pin this run's VI emulation (deployed worlds) to the seed
+    #: per-device dispatch — one full ``Simulator.step`` per real round —
+    #: instead of the phase-table engine (:mod:`repro.vi.engine`).
+    #: ``None`` defers to the ``REPRO_REFERENCE_VI`` environment switch
+    #: at world construction time — the sixth reference switch alongside
+    #: the channel, history, engine, core and shard axes.
+    use_reference_vi: bool | None = None
     #: Run this experiment's round engine sharded across that many worker
     #: processes (:mod:`repro.net.shard`), each owning a contiguous strip
     #: of grid-cell columns and exchanging only boundary-cell payloads.

@@ -2,6 +2,12 @@
 
 from .client import ClientProgram, ClientRuntime, ScriptedClient, SilentClient
 from .device import JoinState, VIDevice
+from .engine import (
+    REFERENCE_VI_ENV,
+    PhaseTable,
+    VIRoundEngine,
+    reference_vi_forced,
+)
 from .payloads import AlivePing, ClientMsg, JoinAck, JoinRequest, VNMsg
 from .phases import PHASE_COUNT, Phase, PhaseClock, PhasePosition
 from .program import (
@@ -37,7 +43,10 @@ __all__ = [
     "Phase",
     "PhaseClock",
     "PhasePosition",
+    "PhaseTable",
+    "REFERENCE_VI_ENV",
     "ReplicaRuntime",
+    "VIRoundEngine",
     "Schedule",
     "ScriptedClient",
     "SilentClient",
@@ -52,5 +61,6 @@ __all__ = [
     "build_schedule",
     "conflict_graph",
     "observation_from_value",
+    "reference_vi_forced",
     "verify_schedule",
 ]

@@ -57,7 +57,9 @@ class VIDevice(Process):
                  client: ClientProgram | None = None,
                  initially_active: bool = False,
                  use_reference_history: bool | None = None,
-                 use_reference_core: bool | None = None) -> None:
+                 use_reference_core: bool | None = None,
+                 pool_payloads: bool = False,
+                 role_version: list[int] | None = None) -> None:
         self.sites = {site.vn_id: site for site in sites}
         self.programs = programs
         self.schedule = schedule
@@ -65,6 +67,17 @@ class VIDevice(Process):
         self.region_radius = region_radius
         self.use_reference_history = use_reference_history
         self.use_reference_core = use_reference_core
+        #: Reuse one mutable wire payload per payload kind instead of
+        #: allocating fresh ones each virtual round.  Only safe when the
+        #: run keeps no trace: receivers extract values immediately and
+        #: never retain the payload objects, but a retained trace would
+        #: alias every round's broadcasts to the same (mutated) object.
+        self.pool_payloads = pool_payloads
+        self._pooled_client_msg: ClientMsg | None = None
+        #: Shared counter box bumped whenever this device's table-visible
+        #: roles (active replica, join target) change, so the phase-table
+        #: engine can reuse a table across virtual rounds in steady state.
+        self._role_version = role_version
         self._locate = locate
         self.client = ClientRuntime(client) if client is not None else None
         self.replica: ReplicaRuntime | None = None
@@ -72,6 +85,11 @@ class VIDevice(Process):
         self._join_state = JoinState.IDLE
         self._join_target: int | None = None
         self._pending_replica: ReplicaRuntime | None = None
+        #: Memo for the boundary-housekeeping site scan: nearest-in-region
+        #: is a pure function of the device's position, and positions are
+        #: stationary (or slow) in most worlds, so the full per-site
+        #: distance sweep is only repeated when the device actually moved.
+        self._nearest_cache: tuple[Point, VNSite | None] | None = None
         #: (virtual round, event) log for join/reset experiments.
         self.events: list[tuple[VirtualRound, str]] = []
 
@@ -84,6 +102,9 @@ class VIDevice(Process):
             here = self._locate()
         except KeyError:
             return None
+        cached = self._nearest_cache
+        if cached is not None and cached[0] == here:
+            return cached[1]
         best: VNSite | None = None
         best_dist = None
         for site in self.sites.values():
@@ -91,9 +112,11 @@ class VIDevice(Process):
             if dist <= self.region_radius and (best_dist is None or
                                                (dist, site.vn_id) < (best_dist, best.vn_id)):
                 best, best_dist = site, dist
+        self._nearest_cache = (here, best)
         return best
 
     def _boundary_housekeeping(self, vr: VirtualRound) -> None:
+        roles_before = (self.replica, self._join_target)
         target = self._nearest_site_in_region()
 
         # Activate a join/reset decided at the end of the previous round.
@@ -113,6 +136,7 @@ class VIDevice(Process):
                 target, self.programs[target.vn_id], self.schedule,
                 use_reference_history=self.use_reference_history,
                 use_reference_core=self.use_reference_core,
+                pool_payloads=self.pool_payloads,
             )
             self.events.append((0, f"deployed:{target.vn_id}"))
 
@@ -135,6 +159,10 @@ class VIDevice(Process):
             self._join_state = JoinState.IDLE
             self._join_target = None
 
+        if self._role_version is not None and \
+                (self.replica, self._join_target) != roles_before:
+            self._role_version[0] += 1
+
     # ------------------------------------------------------------------
     # Process interface
     # ------------------------------------------------------------------
@@ -145,14 +173,22 @@ class VIDevice(Process):
         return None
 
     def send(self, r: Round, active: bool) -> Any | None:
-        pos = self.clock.position(r)
+        return self.send_at(self.clock.position(r), active)
+
+    def send_at(self, pos: PhasePosition, active: bool) -> Any | None:
+        """Send step with the phase position already resolved.
+
+        The phase-table engine (:mod:`repro.vi.engine`) computes each
+        round's position once for all devices and enters here; the
+        per-device :meth:`send` entrypoint resolves it per call.
+        """
         if pos.phase is Phase.CLIENT:
             self._boundary_housekeeping(pos.virtual_round)
             out = None
             if self.client is not None:
                 payload = self.client.begin_virtual_round(pos.virtual_round)
                 if payload is not None:
-                    out = ClientMsg(pos.virtual_round, payload)
+                    out = self._client_msg(pos.virtual_round, payload)
             if self.replica is not None:
                 self.replica.send_for(pos, False)  # scratch reset only
             return out
@@ -164,9 +200,21 @@ class VIDevice(Process):
             return self.replica.send_for(pos, active)
         return None
 
+    def _client_msg(self, vr: VirtualRound, payload: Any) -> ClientMsg:
+        if not self.pool_payloads:
+            return ClientMsg(vr, payload)
+        msg = self._pooled_client_msg
+        if msg is None:
+            msg = self._pooled_client_msg = ClientMsg(vr, payload)
+        else:
+            object.__setattr__(msg, "virtual_round", vr)
+            object.__setattr__(msg, "payload", payload)
+        return msg
+
     def deliver(self, r: Round, messages: tuple[Message, ...],
                 collision: bool) -> None:
-        self._deliver_payloads(r, [m.payload for m in messages], collision)
+        self.deliver_at(self.clock.position(r),
+                        [m.payload for m in messages], collision)
 
     def deliver_batch(self, r: Round, messages: tuple[Message, ...],
                       collision: bool, batch) -> None:
@@ -174,10 +222,11 @@ class VIDevice(Process):
         device's own phase slots) share one empty payload sequence
         instead of building a fresh list per receiver."""
         payloads = [m.payload for m in messages] if messages else _NO_PAYLOADS
-        self._deliver_payloads(r, payloads, collision)
+        self.deliver_at(self.clock.position(r), payloads, collision)
 
-    def _deliver_payloads(self, r: Round, payloads, collision: bool) -> None:
-        pos = self.clock.position(r)
+    def deliver_at(self, pos: PhasePosition, payloads, collision: bool) -> None:
+        """Deliver step with the phase position already resolved (the
+        phase-table engine's entrypoint; see :meth:`send_at`)."""
         if self.client is not None:
             if pos.phase is Phase.CLIENT:
                 self.client.observe_client_phase(
@@ -227,6 +276,7 @@ class VIDevice(Process):
                     snapshot=acks[0].snapshot,
                     use_reference_history=self.use_reference_history,
                     use_reference_core=self.use_reference_core,
+                    pool_payloads=self.pool_payloads,
                 )
                 self.events.append((vr, f"acked:{vn}"))
             elif collision:
@@ -253,6 +303,7 @@ class VIDevice(Process):
                     reset_at=vr + 1,
                     use_reference_history=self.use_reference_history,
                     use_reference_core=self.use_reference_core,
+                    pool_payloads=self.pool_payloads,
                 )
                 self.events.append((vr, f"reset:{vn}"))
             return

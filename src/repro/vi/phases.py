@@ -102,6 +102,50 @@ class PhaseClock:
             return PhasePosition(vr, Phase.JOIN_ACK, 0)
         return PhasePosition(vr, Phase.RESET, 0)
 
+    def offset_of(self, phase: Phase, slot: int = 0) -> int:
+        """Inverse of the phase part of :meth:`position`: the real-round
+        offset (within a virtual round) at which ``(phase, slot)`` runs.
+
+        ``slot`` is only meaningful for :attr:`Phase.UNSCHED_BALLOT`
+        (``0 .. s+1``) and must be 0 elsewhere, mirroring the ``slot``
+        field :meth:`position` produces.
+        """
+        s = self.s
+        if phase is not Phase.UNSCHED_BALLOT:
+            if slot != 0:
+                raise ConfigurationError(f"phase {phase.value} has no slots")
+        elif not 0 <= slot <= s + 1:
+            raise ConfigurationError(
+                f"UNSCHED_BALLOT slot {slot} outside 0..{s + 1}")
+        offsets = {
+            Phase.CLIENT: 0,
+            Phase.VN: 1,
+            Phase.SCHED_BALLOT: 2,
+            Phase.SCHED_VETO1: 3,
+            Phase.SCHED_VETO2: 4,
+            Phase.UNSCHED_BALLOT: 5 + slot,
+            Phase.UNSCHED_VETO1: s + 7,
+            Phase.UNSCHED_VETO2: s + 8,
+            Phase.JOIN: s + 9,
+            Phase.JOIN_ACK: s + 10,
+            Phase.RESET: s + 11,
+        }
+        return offsets[phase]
+
+    def round_of(self, pos: PhasePosition) -> Round:
+        """Inverse of :meth:`position`: the real round at ``pos``."""
+        return (pos.virtual_round * self.rounds_per_virtual_round
+                + self.offset_of(pos.phase, pos.slot))
+
+    def positions_for(self, vr: VirtualRound) -> list[PhasePosition]:
+        """All ``s + 12`` positions of virtual round ``vr``, in offset
+        order — one shared :class:`PhasePosition` per real round, so a
+        batched caller allocates s+12 positions per virtual round instead
+        of one per device per round."""
+        first = self.first_round_of(vr)
+        return [self.position(first + offset)
+                for offset in range(self.rounds_per_virtual_round)]
+
     def first_round_of(self, vr: VirtualRound) -> Round:
         """The real round at which virtual round ``vr`` begins."""
         return vr * self.rounds_per_virtual_round

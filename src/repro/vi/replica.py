@@ -51,24 +51,38 @@ class ReplicaRuntime:
                  *, snapshot: dict | None = None,
                  reset_at: Instance | None = None,
                  use_reference_history: bool | None = None,
-                 use_reference_core: bool | None = None) -> None:
+                 use_reference_core: bool | None = None,
+                 pool_payloads: bool = False) -> None:
         self.site = site
         self.program = program
         self.schedule = schedule
         self.tag = ("vn", site.vn_id)
+        #: Pool VI wire payloads (and the core's ballot/veto payloads)
+        #: across virtual rounds.  Trace-free runs only: receivers
+        #: extract values and never retain the payload objects.
+        self.pool_payloads = pool_payloads
+        self._pooled_vn_msg: VNMsg | None = None
         if use_reference_core is None:
             use_reference_core = reference_core_forced()
         if use_reference_core:
-            core_cls = CheckpointChaCore
+            # The reference core has no pooled mode: its seed behaviour
+            # (fresh payloads every round) stays verbatim.
+            self.core = CheckpointChaCore(
+                propose=self._propose,
+                reducer=self._reduce,
+                initial_state=program.init_state(),
+                tag=self.tag,
+                use_reference_history=use_reference_history,
+            )
         else:
-            core_cls = SlottedCheckpointChaCore
-        self.core = core_cls(
-            propose=self._propose,
-            reducer=self._reduce,
-            initial_state=program.init_state(),
-            tag=self.tag,
-            use_reference_history=use_reference_history,
-        )
+            self.core = SlottedCheckpointChaCore(
+                propose=self._propose,
+                reducer=self._reduce,
+                initial_state=program.init_state(),
+                tag=self.tag,
+                use_reference_history=use_reference_history,
+                pool_payloads=pool_payloads,
+            )
         if snapshot is not None and reset_at is not None:
             raise ValueError("pass either a snapshot or a reset anchor, not both")
         if snapshot is not None:
@@ -127,6 +141,17 @@ class ReplicaRuntime:
     # Phase handlers (called by the owning device)
     # ------------------------------------------------------------------
 
+    def _make_vn_msg(self, vn: int, vr: VirtualRound, message: Any) -> VNMsg:
+        if not self.pool_payloads:
+            return VNMsg(vn, vr, message)
+        msg = self._pooled_vn_msg
+        if msg is None:
+            msg = self._pooled_vn_msg = VNMsg(vn, vr, message)
+        else:
+            object.__setattr__(msg, "virtual_round", vr)
+            object.__setattr__(msg, "payload", message)
+        return msg
+
     def send_for(self, pos: PhasePosition, active: bool) -> Any | None:
         vn = self.site.vn_id
         vr = pos.virtual_round
@@ -149,39 +174,29 @@ class ReplicaRuntime:
                 return None
             self._vn_sent = True
             self._emitting = message
-            return VNMsg(vn, vr, message)
+            return self._make_vn_msg(vn, vr, message)
 
         if phase is Phase.SCHED_BALLOT:
             if not scheduled:
                 return None
-            payload = self.core.begin_instance()
-            return payload if active else None
+            return self.core.begin_instance_send(active)
 
         if phase is Phase.SCHED_VETO1:
-            if scheduled and self.core.wants_veto1():
-                return VetoPayload(self.tag, self.core.k, 1)
-            return None
+            return self.core.veto1_payload() if scheduled else None
 
         if phase is Phase.SCHED_VETO2:
-            if scheduled and self.core.wants_veto2():
-                return VetoPayload(self.tag, self.core.k, 2)
-            return None
+            return self.core.veto2_payload() if scheduled else None
 
         if phase is Phase.UNSCHED_BALLOT:
             if scheduled or pos.slot != self.schedule.slot_of(vn):
                 return None
-            payload = self.core.begin_instance()
-            return payload if active else None
+            return self.core.begin_instance_send(active)
 
         if phase is Phase.UNSCHED_VETO1:
-            if not scheduled and self.core.wants_veto1():
-                return VetoPayload(self.tag, self.core.k, 1)
-            return None
+            return None if scheduled else self.core.veto1_payload()
 
         if phase is Phase.UNSCHED_VETO2:
-            if not scheduled and self.core.wants_veto2():
-                return VetoPayload(self.tag, self.core.k, 2)
-            return None
+            return None if scheduled else self.core.veto2_payload()
 
         if phase is Phase.JOIN_ACK:
             # Conditions of Section 4.3: already joined (we exist), join

@@ -26,6 +26,7 @@ from ..net import (
 from ..types import Color, NodeId, VirtualRound
 from .client import ClientProgram
 from .device import VIDevice
+from .engine import VIRoundEngine, reference_vi_forced
 from .phases import PhaseClock
 from .program import VNProgram
 from .schedule import Schedule, VNSite, build_schedule, verify_schedule
@@ -63,7 +64,9 @@ class VIWorld:
                  schedule: Schedule | None = None,
                  use_reference_history: bool | None = None,
                  use_reference_engine: bool | None = None,
-                 use_reference_core: bool | None = None) -> None:
+                 use_reference_core: bool | None = None,
+                 use_reference_vi: bool | None = None,
+                 pool_payloads: bool = False) -> None:
         if set(programs) != {site.vn_id for site in sites}:
             raise ConfigurationError(
                 "programs must be keyed exactly by the site vn_ids"
@@ -72,6 +75,17 @@ class VIWorld:
         self.programs = dict(programs)
         self.use_reference_history = use_reference_history
         self.use_reference_core = use_reference_core
+        if use_reference_vi is None:
+            use_reference_vi = reference_vi_forced()
+        #: Pin :meth:`run_virtual_rounds` to the seed per-device VI
+        #: dispatch (one ``sim.step()`` per real round) instead of the
+        #: phase-table engine (read per virtual round, so tests can
+        #: flip it).  The sixth reference switch; see
+        #: :mod:`repro.vi.engine`.
+        self.use_reference_vi = use_reference_vi
+        #: Reuse mutable wire payloads across virtual rounds.  Only safe
+        #: on trace-free runs (the runner passes ``not keep_trace``).
+        self.pool_payloads = pool_payloads
         self.region_radius = r1 / 4.0
         if schedule is None:
             schedule = build_schedule(sites, r1=r1, r2=r2,
@@ -101,10 +115,15 @@ class VIWorld:
                 stable_round=cm_stable_round,
             ))
         self.devices: dict[NodeId, VIDevice] = {}
+        #: Shared role-change counter (bumped by device housekeeping and
+        #: :meth:`add_device`); the phase-table engine reuses a table
+        #: across virtual rounds while it holds still.
+        self.role_version: list[int] = [0]
         self.outcomes: dict[int, list[VNRoundOutcome]] = {
             site.vn_id: [] for site in sites
         }
         self._virtual_rounds_run = 0
+        self._engine = VIRoundEngine(self)
 
     # ------------------------------------------------------------------
     # Deployment
@@ -138,11 +157,14 @@ class VIWorld:
             initially_active=initially_active,
             use_reference_history=self.use_reference_history,
             use_reference_core=self.use_reference_core,
+            pool_payloads=self.pool_payloads,
+            role_version=self.role_version,
         )
         device_holder.append(device)
         node_id = self.sim.add_node(device, mobility, start_round=start_round)
         device._node_id = node_id  # type: ignore[attr-defined]
         self.devices[node_id] = device
+        self.role_version[0] += 1
         return node_id
 
     # ------------------------------------------------------------------
@@ -153,21 +175,31 @@ class VIWorld:
         """Run ``count`` whole virtual rounds, recording outcomes."""
         for _ in range(count):
             vr = self._virtual_rounds_run
-            for _ in range(self.clock.rounds_per_virtual_round):
-                self.sim.step()
+            if self.use_reference_vi:
+                for _ in range(self.clock.rounds_per_virtual_round):
+                    self.sim.step()
+            else:
+                self._engine.run_virtual_round(vr)
             self._record_outcomes(vr)
             self._virtual_rounds_run += 1
 
     def _record_outcomes(self, vr: VirtualRound) -> None:
+        # One pass over the devices, bucketed by virtual node (devices
+        # iterate in node order, so each outcome's colour dict keeps the
+        # same insertion order a per-site scan would produce).
+        colors_by_vn: dict[int, dict[NodeId, Color]] = {}
+        for node_id, device in self.devices.items():
+            replica = device.replica
+            if replica is None:
+                continue
+            color = replica.round_colors.get(vr)
+            if color is not None:
+                colors_by_vn.setdefault(
+                    replica.site.vn_id, {})[node_id] = color
         for site in self.sites:
-            outcome = VNRoundOutcome(virtual_round=vr)
-            for node_id, device in self.devices.items():
-                replica = device.replica
-                if replica is None or replica.site.vn_id != site.vn_id:
-                    continue
-                color = replica.round_colors.get(vr)
-                if color is not None:
-                    outcome.colors[node_id] = color
+            colors = colors_by_vn.get(site.vn_id)
+            outcome = (VNRoundOutcome(virtual_round=vr) if colors is None
+                       else VNRoundOutcome(virtual_round=vr, colors=colors))
             self.outcomes[site.vn_id].append(outcome)
 
     # ------------------------------------------------------------------

@@ -39,9 +39,11 @@ from repro.net import (
     CrashSchedule,
     NoiseBurstAdversary,
     RandomLossAdversary,
+    WaypointMobility,
     WindowAdversary,
     canonical_dump,
 )
+from repro.vi.client import ScriptedClient
 from repro.vi.program import CounterProgram
 from repro.vi.schedule import VNSite
 
@@ -134,6 +136,54 @@ def _vi_spec():
     )
 
 
+def _vi_join_reset_spec():
+    """The phase-table engine's churn golden: a larger grid whose trace
+    crosses every table invalidation — a walker joins mid-run, a crash
+    wave kills both of site 0's replicas so the walker's JOIN_ACK goes
+    silent and it reruns the RESET rebirth, and a late device joins the
+    reborn node — all under windowed loss."""
+    rpv = 2 + 12  # min_schedule_length + the 12 fixed phase rounds
+    sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(6.0, 0.0)),
+             VNSite(2, Point(12.0, 0.0)))
+    devices = (
+        # Two deployed replicas per site; site 0's pair (nodes 0 and 1)
+        # is the crash wave's target.
+        DeviceSpec(mobility=Point(-0.1, 0.1)),
+        DeviceSpec(mobility=Point(0.1, 0.1)),
+        DeviceSpec(mobility=Point(5.9, 0.1)),
+        DeviceSpec(mobility=Point(6.1, 0.1)),
+        DeviceSpec(mobility=Point(11.9, 0.1)),
+        DeviceSpec(mobility=Point(12.1, 0.1)),
+        # A client just outside site 0's region (radius 0.25).
+        DeviceSpec(mobility=Point(0.6, 0.4),
+                   client=ScriptedClient({2: ("add", 5), 6: ("add", 8)})),
+        # A walker that parks inside site 0's region and joins — then
+        # must reset the node once the crash wave has silenced it.
+        DeviceSpec(mobility=WaypointMobility(
+            Point(0.0, 3.0), [Point(0.0, 0.05)], speed=0.05),
+            initially_active=False),
+        # A late arrival that joins the reborn virtual node.
+        DeviceSpec(mobility=Point(0.05, -0.05), start_round=5 * rpv),
+    )
+    return ExperimentSpec(
+        protocol=VIEmulation(programs={0: CounterProgram(),
+                                       1: CounterProgram(),
+                                       2: CounterProgram()}),
+        world=DeployedWorld(sites=sites, devices=devices, rcf=12,
+                            min_schedule_length=2),
+        environment=EnvironmentSpec(
+            adversary=WindowAdversary(
+                RandomLossAdversary(p_drop=0.2, p_false=0.15, seed=17),
+                until=20),
+            crashes=CrashSchedule([
+                Crash(0, 3 * rpv, CrashPoint.AFTER_SEND),
+                Crash(1, 3 * rpv, CrashPoint.BEFORE_SEND),
+            ]),
+        ),
+        workload=WorkloadSpec(virtual_rounds=12),
+    )
+
+
 SCENARIOS = {
     "cha": _cha_spec,
     "cha-spread": _spread_spec,
@@ -142,6 +192,7 @@ SCENARIOS = {
     "naive-rsm": _naive_rsm_spec,
     "majority-rsm": _majority_spec,
     "vi": _vi_spec,
+    "vi-join-reset": _vi_join_reset_spec,
 }
 
 
@@ -175,5 +226,6 @@ def test_golden_trace_reference_path(name, request, monkeypatch):
     monkeypatch.setenv("REPRO_REFERENCE_CHANNEL", "1")
     monkeypatch.setenv("REPRO_REFERENCE_HISTORY", "1")
     monkeypatch.setenv("REPRO_REFERENCE_ENGINE", "1")
+    monkeypatch.setenv("REPRO_REFERENCE_VI", "1")
     dump = canonical_dump(run(SCENARIOS[name]()).trace)
     assert dump == (GOLDEN_DIR / f"{name}.golden").read_text()

@@ -1,0 +1,229 @@
+"""Differential verification of the phase-table VI emulation engine.
+
+The phase-table engine (:class:`repro.vi.engine.VIRoundEngine`, the
+default for deployed worlds) must be *byte-identical* to the seed
+per-device dispatch (``use_reference_vi=True``: one full
+``Simulator.step`` per real round) — traces, outputs, metrics, and
+invariant verdicts all pickle to the same bytes — across every
+combination with the engine, channel, history and core reference
+switches, under loss, crash waves, and mid-run join/reset storms, for
+several schedule lengths.  This suite is the regression gate for any
+change to the phase tables: role partitioning, quiet-round skips,
+sender/receiver prebinding, or the role-version table reuse.
+
+Run it alone with ``pytest -m vi_differential`` (the PR CI pre-gate,
+next to ``core_differential`` and ``shard_differential``).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import ExperimentSpec, WorkloadSpec
+from repro.experiment import (
+    DeployedWorld,
+    DeviceSpec,
+    EnvironmentSpec,
+    MetricsSpec,
+    VIEmulation,
+)
+from repro.experiment.runner import run
+from repro.geometry import Point
+from repro.net import (
+    Crash,
+    CrashPoint,
+    CrashSchedule,
+    NoiseBurstAdversary,
+    RandomLossAdversary,
+    WaypointMobility,
+    WindowAdversary,
+)
+from repro.vi import CounterProgram, ScriptedClient, VIWorld, VNSite
+from repro.vi.engine import reference_vi_forced
+
+pytestmark = [pytest.mark.fast, pytest.mark.vi_differential]
+
+
+def _result_bytes(spec_factory, *, vi_ref: bool,
+                  engine_ref: bool = False, sim_fast: bool = True,
+                  channel_fast: bool = True, history_ref: bool = False,
+                  core_ref: bool = False) -> bytes:
+    """Pickle of everything observable: trace, outputs, metrics,
+    invariant verdicts, and violation contexts."""
+    spec = spec_factory().override(
+        use_reference_vi=vi_ref,
+        use_reference_history=history_ref,
+        use_reference_core=core_ref,
+    )
+
+    def instrument(sim):
+        sim.use_reference_engine = engine_ref
+        sim.fast_path = sim_fast
+        sim.channel.use_reference = not channel_fast
+
+    result = run(spec, instrument=instrument)
+    return pickle.dumps((result.trace, result.outputs, result.metrics,
+                         result.invariants, result.violation_context))
+
+
+#: (vi_ref, engine_ref, sim_fast, channel_fast, history_ref, core_ref)
+#: combinations; the all-reference stack is the anchor everything else
+#: must match.  The phase-table engine falls back to per-round stepping
+#: when the simulator itself is pinned reference (engine_ref=True with
+#: vi_ref=False), so that row exercises the fallback path.
+MODES = [
+    (False, False, True, True, False, False),   # the production stack
+    (True, False, True, True, False, False),    # reference VI, fast sim
+    (False, True, True, True, False, False),    # engine-pin fallback
+    (False, False, True, False, False, False),  # reference channel
+    (False, False, True, True, True, False),    # reference history
+    (False, False, True, True, False, True),    # reference core
+    (False, False, False, False, False, False),  # slow sim path
+]
+
+
+def _environments(rpv: int):
+    """Environment kwarg *factories* per scenario (adversaries carry RNG
+    state, so every run needs a fresh one), scaled to the virtual round
+    length so crashes land at virtual-round-relevant moments."""
+    yield "benign", lambda: {}
+    yield "lossy", lambda: {
+        "rcf": 60,
+        "adversary": WindowAdversary(
+            RandomLossAdversary(p_drop=0.3, p_false=0.3, seed=5),
+            until=40),
+    }
+    # Kills both of site 0's deployed replicas just after virtual round
+    # 2: the walker that parked in the region must observe JOIN_ACK
+    # silence, probe RESET, and rebirth the virtual node (Section 4.3) —
+    # the join/reset storm case, under detector noise.
+    yield "crash-wave", lambda: {
+        "rcf": 30,
+        "adversary": NoiseBurstAdversary(p_false=0.4, until=25, seed=9),
+        "crashes": CrashSchedule([
+            Crash(0, 2 * rpv, CrashPoint.AFTER_SEND),
+            Crash(1, 2 * rpv + 3, CrashPoint.BEFORE_SEND),
+        ]),
+    }
+
+
+def _spec_factory(schedule_length: int, env_factory):
+    """A deployed world stressing every phase-table role: deployed
+    replicas on two sites, an out-of-region client, a walker joiner,
+    and a late-starting device that joins mid-run."""
+    rpv = schedule_length + 12
+
+    def spec_factory():
+        env = env_factory()
+        rcf = env.pop("rcf", 0)
+        sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(6.0, 0.0)))
+        devices = (
+            # Two deployed replicas per site.
+            DeviceSpec(mobility=Point(-0.1, 0.1)),
+            DeviceSpec(mobility=Point(0.1, 0.1)),
+            DeviceSpec(mobility=Point(5.9, 0.1)),
+            DeviceSpec(mobility=Point(6.1, 0.1)),
+            # A client outside every region (radius r1/4 = 0.25).
+            DeviceSpec(mobility=Point(0.3, 0.0),
+                       client=ScriptedClient({2: ("add", 7),
+                                              5: ("add", 11),
+                                              8: ("add", 13)})),
+            # A walker that parks inside site 0's region and joins.
+            DeviceSpec(mobility=WaypointMobility(
+                Point(0.0, 3.0), [Point(0.0, 0.05)], speed=0.05),
+                initially_active=False),
+            # A late arrival inside site 0's region: must join too.
+            DeviceSpec(mobility=Point(0.05, 0.05),
+                       start_round=3 * rpv),
+        )
+        return ExperimentSpec(
+            protocol=VIEmulation(programs={0: CounterProgram(),
+                                           1: CounterProgram()}),
+            world=DeployedWorld(sites=sites, devices=devices, rcf=rcf,
+                                min_schedule_length=schedule_length),
+            environment=EnvironmentSpec(**env),
+            workload=WorkloadSpec(virtual_rounds=12),
+            metrics=MetricsSpec(metrics=("availability", "emulation_gaps"),
+                                invariants=("replica_consistency",)),
+        )
+
+    return spec_factory
+
+
+def _scenarios():
+    for s in (1, 3, 7):
+        for env_name, env_factory in _environments(s + 12):
+            yield f"s{s}-{env_name}", _spec_factory(s, env_factory)
+
+
+@pytest.mark.parametrize("name,spec_factory", list(_scenarios()),
+                         ids=[name for name, _ in _scenarios()])
+def test_vi_byte_identical_across_switch_matrix(name, spec_factory):
+    anchor = _result_bytes(spec_factory, vi_ref=True, engine_ref=True,
+                           sim_fast=False, channel_fast=False,
+                           history_ref=True, core_ref=True)
+    for mode in MODES:
+        vi_ref, engine_ref, sim_fast, channel_fast, history_ref, core_ref \
+            = mode
+        assert _result_bytes(
+            spec_factory, vi_ref=vi_ref, engine_ref=engine_ref,
+            sim_fast=sim_fast, channel_fast=channel_fast,
+            history_ref=history_ref, core_ref=core_ref,
+        ) == anchor, mode
+
+
+def test_vi_pooled_run_matches_traced_run():
+    """A trace-free run pools VI payloads; its outputs, metrics and
+    verdicts must still match the traced (unpooled) run exactly."""
+    _, spec_factory = next(_scenarios())
+
+    def observables(keep_trace: bool) -> bytes:
+        result = run(spec_factory().override(keep_trace=keep_trace))
+        return pickle.dumps((result.outputs, result.metrics,
+                             result.invariants, result.violation_context))
+
+    assert observables(False) == observables(True)
+
+
+def test_reference_vi_env_switch(monkeypatch):
+    site = VNSite(0, Point(0.0, 0.0))
+    programs = {0: CounterProgram()}
+    monkeypatch.delenv("REPRO_REFERENCE_VI", raising=False)
+    assert not reference_vi_forced()
+    assert not VIWorld([site], programs).use_reference_vi
+
+    monkeypatch.setenv("REPRO_REFERENCE_VI", "1")
+    assert reference_vi_forced()
+    assert VIWorld([site], programs).use_reference_vi
+    # An explicit constructor argument still wins.
+    assert not VIWorld([site], programs,
+                       use_reference_vi=False).use_reference_vi
+
+    monkeypatch.setenv("REPRO_REFERENCE_VI", "0")
+    assert not reference_vi_forced()
+
+
+def test_spec_switch_reaches_world(monkeypatch):
+    """ExperimentSpec.use_reference_vi pins the built VIWorld."""
+    import repro.experiment.runner as runner_module
+
+    seen = []
+    real_world = runner_module.VIWorld
+
+    def spy(*args, **kwargs):
+        world = real_world(*args, **kwargs)
+        seen.append(world.use_reference_vi)
+        return world
+
+    monkeypatch.setattr(runner_module, "VIWorld", spy)
+    _, spec_factory = next(_scenarios())
+    run(spec_factory().override(use_reference_vi=True,
+                                workload__virtual_rounds=1))
+    assert seen == [True]
+
+    seen.clear()
+    run(spec_factory().override(use_reference_vi=False,
+                                workload__virtual_rounds=1))
+    assert seen == [False]

@@ -1,0 +1,83 @@
+"""VI payload pooling: zero steady-state wire allocations.
+
+Trace-free emulation runs reuse one mutable wire payload per kind
+(client messages, VN broadcasts, and the replica cores' CHA payloads)
+instead of allocating fresh ones every virtual round.  This pins the
+pools: once warm, whole additional virtual rounds construct no wire
+objects at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExperimentSpec, WorkloadSpec
+from repro.core.ballot import Ballot, BallotPayload, VetoPayload
+from repro.experiment import (
+    DeployedWorld,
+    DeviceSpec,
+    MetricsSpec,
+    VIEmulation,
+)
+from repro.experiment.runner import ExperimentStepper
+from repro.geometry import Point
+from repro.vi import CounterProgram, ScriptedClient, VNSite
+from repro.vi.payloads import ClientMsg, VNMsg
+
+pytestmark = pytest.mark.fast
+
+
+def test_pooled_vi_run_allocates_no_wire_objects_in_steady_state(monkeypatch):
+    """With ``keep_trace=False`` the runner pools VI payloads: after
+    warm-up, stepping more virtual rounds constructs zero ``ClientMsg``,
+    ``VNMsg``, ``BallotPayload``, ``Ballot`` or ``VetoPayload``
+    objects."""
+    # Count ``__init__`` calls, not ``__new__``: restoring a patched
+    # ``__new__`` on a class that never defined one leaves a slot
+    # dispatcher behind that forwards ctor args to ``object.__new__``
+    # and poisons every later construction in the process.  ``__init__``
+    # lives in each dataclass's own ``__dict__``, so monkeypatch
+    # restores it exactly — and the pooled path mutates payloads via
+    # ``object.__setattr__`` without ever re-entering ``__init__``.
+    counts = {cls.__name__: 0
+              for cls in (ClientMsg, VNMsg, BallotPayload, Ballot,
+                          VetoPayload)}
+    for cls in (ClientMsg, VNMsg, BallotPayload, Ballot, VetoPayload):
+        def counting_init(self, *args, _name=cls.__name__,
+                          _orig=cls.__init__, **kwargs):
+            counts[_name] += 1
+            _orig(self, *args, **kwargs)
+        monkeypatch.setattr(cls, "__init__", counting_init)
+
+    # A stable all-active deployment with a client speaking every
+    # virtual round, so every pooled payload kind stays hot.
+    sites = (VNSite(0, Point(0.0, 0.0)), VNSite(1, Point(6.0, 0.0)))
+    devices = (
+        DeviceSpec(mobility=Point(-0.1, 0.1)),
+        DeviceSpec(mobility=Point(0.1, 0.1)),
+        DeviceSpec(mobility=Point(5.9, 0.1)),
+        DeviceSpec(mobility=Point(6.1, 0.1)),
+        DeviceSpec(mobility=Point(0.3, 0.0),
+                   client=ScriptedClient(
+                       {vr: ("add", vr) for vr in range(40)})),
+    )
+    spec = ExperimentSpec(
+        protocol=VIEmulation(programs={0: CounterProgram(),
+                                       1: CounterProgram()}),
+        world=DeployedWorld(sites=sites, devices=devices),
+        workload=WorkloadSpec(virtual_rounds=20),
+        metrics=MetricsSpec(metrics=("availability",),
+                            invariants=("replica_consistency",)),
+        keep_trace=False,
+    )
+    stepper = ExperimentStepper(spec)  # ticks are whole virtual rounds
+    stepper.step(3)  # warm-up: pooled payloads are created lazily
+    warm = dict(counts)
+    for name in ("ClientMsg", "VNMsg", "BallotPayload"):
+        assert warm[name] > 0, f"the {name} pool was never built"
+    stepper.step(10)
+    assert counts == warm, \
+        "steady-state virtual rounds allocated wire objects"
+    result = stepper.finish()
+    assert result.metrics["availability"][0] > 0.0
+    result.assert_ok()

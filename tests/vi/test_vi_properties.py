@@ -4,8 +4,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geometry import Point
 from repro.vi import (
+    CounterProgram,
     Phase,
     PhaseClock,
+    ScriptedClient,
+    VIWorld,
     build_schedule,
     verify_schedule,
     VNSite,
@@ -91,3 +94,127 @@ class TestPhaseClockProperties:
             if clock.position(r).phase is Phase.UNSCHED_BALLOT
         ]
         assert slots == list(range(s + 2))
+
+
+class TestPhaseClockBijection:
+    """Real round ↔ (virtual round, phase, slot) is a bijection — the
+    invariant the phase-table engine's offset-indexed dispatch rests on."""
+
+    @given(st.integers(1, 12), st.integers(0, 5_000))
+    def test_round_of_inverts_position(self, s, r):
+        clock = PhaseClock(s)
+        assert clock.round_of(clock.position(r)) == r
+
+    @given(st.integers(1, 12), st.integers(0, 5_000))
+    def test_offset_of_decomposes_rounds(self, s, r):
+        clock = PhaseClock(s)
+        pos = clock.position(r)
+        assert (clock.first_round_of(pos.virtual_round)
+                + clock.offset_of(pos.phase, pos.slot)) == r
+
+    @given(st.integers(1, 12), st.integers(0, 400))
+    def test_positions_for_enumerates_the_virtual_round(self, s, vr):
+        clock = PhaseClock(s)
+        positions = clock.positions_for(vr)
+        assert len(positions) == clock.rounds_per_virtual_round
+        first = clock.first_round_of(vr)
+        assert [clock.round_of(p) for p in positions] == \
+            list(range(first, first + clock.rounds_per_virtual_round))
+        # Distinct positions: the mapping is injective within the round.
+        assert len(set(positions)) == len(positions)
+
+
+@st.composite
+def deployed_worlds(draw):
+    """Small random deployments: 1-3 far-apart sites, 0-3 replicas each,
+    0-2 joiners, an optional out-of-region client, advanced 0-3 virtual
+    rounds so roles (replica/joiner/none) settle mid-protocol."""
+    n_sites = draw(st.integers(1, 3))
+    min_len = draw(st.integers(1, 4))
+    sites = [VNSite(i, Point(i * 6.0, 0.0)) for i in range(n_sites)]
+    world = VIWorld(sites, {i: CounterProgram() for i in range(n_sites)},
+                    min_schedule_length=min_len)
+    for site in sites:
+        for j in range(draw(st.integers(0, 3))):
+            world.add_device(Point(site.location.x + 0.05 * (j + 1), 0.1))
+    for k in range(draw(st.integers(0, 2))):
+        target = sites[draw(st.integers(0, n_sites - 1))]
+        world.add_device(Point(target.location.x - 0.05 * (k + 1), -0.1),
+                         initially_active=False)
+    if draw(st.booleans()):
+        world.add_device(Point(0.5, 0.5),
+                         client=ScriptedClient({1: ("add", 1)}))
+    world.run_virtual_rounds(draw(st.integers(0, 3)))
+    return world
+
+
+def _expected_activation_sets(world, vr):
+    """Per-offset sender/receiver node sets derived independently from
+    the phase semantics and current device roles (the devices the seed
+    reference dispatch would actually activate in each real round)."""
+    schedule = world.schedule
+    s = schedule.length
+    rpv = world.clock.rounds_per_virtual_round
+    slot_now = vr % s
+    reps, sched, unsched, joiners, observers = \
+        set(), set(), set(), set(), set()
+    by_slot: dict[int, set] = {}
+    for node, device in world.devices.items():
+        if device.replica is not None:
+            reps.add(node)
+            observers.add(node)
+            slot = schedule.slot_of(device.replica.site.vn_id)
+            if slot == slot_now:
+                sched.add(node)
+            else:
+                unsched.add(node)
+                by_slot.setdefault(slot, set()).add(node)
+        else:
+            if device._join_target is not None:
+                joiners.add(node)
+            if device.client is not None:
+                observers.add(node)
+    empty: set = set()
+    senders = [empty] * rpv
+    receivers = [empty] * rpv
+    receivers[0] = observers            # CLIENT: clients + replicas hear
+    senders[1] = reps                   # VN broadcast
+    receivers[1] = observers
+    for off in (2, 3, 4):               # scheduled CHA
+        senders[off] = receivers[off] = sched
+    for slot, nodes in by_slot.items():  # unscheduled ballots by colour
+        senders[5 + slot] = receivers[5 + slot] = nodes
+    for off in (s + 7, s + 8):          # unscheduled veto-1 / veto-2
+        senders[off] = receivers[off] = unsched
+    senders[s + 9] = joiners            # JOIN requests
+    receivers[s + 9] = reps
+    senders[s + 10] = sched             # JOIN_ACK state transfer
+    receivers[s + 10] = joiners | reps
+    senders[s + 11] = reps              # RESET liveness pings
+    receivers[s + 11] = joiners
+    return senders, receivers
+
+
+class TestPhaseTableActivationSets:
+    """The phase-table engine's per-offset device sets must equal the
+    activation sets of the seed per-device reference dispatch."""
+
+    @settings(max_examples=25)
+    @given(deployed_worlds())
+    def test_table_matches_reference_activation_sets(self, world):
+        vr = world.virtual_rounds_run
+        table = world._engine.build_table(vr)
+        exp_send, exp_recv = _expected_activation_sets(world, vr)
+        for offset in range(world.clock.rounds_per_virtual_round):
+            assert table.sender_nodes(offset) == exp_send[offset], offset
+            assert table.receiver_nodes(offset) == exp_recv[offset], offset
+
+    @settings(max_examples=25)
+    @given(deployed_worlds())
+    def test_table_contenders_are_the_replicas(self, world):
+        table = world._engine.build_table(world.virtual_rounds_run)
+        assert dict(table.contenders) == {
+            node: f"vn{device.replica.site.vn_id}"
+            for node, device in world.devices.items()
+            if device.replica is not None
+        }
