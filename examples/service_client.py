@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Consensus as a service: a TCP client talking NDJSON to a live world.
+"""Consensus as a service: raw NDJSON clients across two live worlds.
 
-This example starts a :class:`repro.service.ConsensusService` serving a
-12-node CHA ensemble over TCP, then connects three raw-socket clients
-speaking the wire protocol by hand — no client library, just one JSON
-object per line — to show the whole session vocabulary:
+This example starts one :class:`repro.service.ConsensusService` serving
+**two** 12-node CHA worlds (``w1``, ``w2``) on a single asyncio loop,
+then connects raw-socket clients speaking the wire protocol by hand —
+no client library, just one JSON object per line — to show the
+multi-world session vocabulary:
 
-* ``hello`` → a ``welcome`` event with a catch-up snapshot,
-* ``propose`` → an ``ack`` naming the instance, then a ``decision``
-  event carrying the decided value and the agreement verdict,
-* a late joiner attaching mid-run and reading the recent-decision ring
-  buffer instead of replaying the past,
-* ``stats`` / ``bye``, and the ``world-complete`` farewell.
+* ``hello`` with a ``world`` field → a ``welcome`` snapshot for that
+  world; one closed-loop proposer runs against each world and their
+  event streams never mix,
+* ``watch_instance`` → an ``instance-state`` read-model stream
+  (pending → running → decided) for one instance, delivered only to
+  its watcher,
+* ``attach_world`` → the same session re-binds to the other world
+  mid-run (its ``seq`` continues; watches clear, they are world-local),
+* ``subscribe_prefix`` → the decision feed narrows to values with a
+  given prefix, filtered *before* the session queue,
+* ``worlds`` → a live listing of every world's round and session count.
 
 Everything runs in one process for convenience, but the clients use
 only the public TCP surface: point them at any `repro-service` address
-and they work unchanged.
+and they work unchanged.  The full wire reference lives in
+``docs/WIRE_PROTOCOL.md``.
 
 Run:  python examples/service_client.py
 """
@@ -42,16 +49,15 @@ async def recv(reader, wanted=None):
             return event
 
 
-async def proposer(host, port, name, values, *, instance=None):
-    """A closed-loop client: propose, await the ack, await the verdict.
-
-    With ``instance`` the proposals target explicit slots; otherwise
-    each lands in the next instance the world has not yet begun.
-    """
+async def proposer(host, port, name, world, values, *, instance=None):
+    """A closed-loop client bound to one world: propose, await the ack,
+    await the decision.  With ``instance`` the proposals target explicit
+    slots; otherwise each lands in the world's next open instance."""
     reader, writer = await asyncio.open_connection(host, port)
-    await send(writer, op="hello", client=name)
+    await send(writer, op="hello", client=name, world=world)
     welcome = await recv(reader, "welcome")
-    print(f"[{name}] attached at round {welcome['round']}")
+    print(f"[{name}] attached to {welcome['world']} "
+          f"(spec {welcome['spec_hash'][:12]}) at round {welcome['round']}")
     for offset, value in enumerate(values):
         request = {"op": "propose", "value": value, "id": value}
         if instance is not None:
@@ -61,8 +67,9 @@ async def proposer(host, port, name, values, *, instance=None):
         while (decision := await recv(reader, "decision")) \
                 ["instance"] != ack["instance"]:
             pass
-        print(f"[{name}] instance {ack['instance']:>2} decided "
-              f"{decision['value']!r} (agreement {decision['agreement']})")
+        print(f"[{name}] {decision['world']} instance "
+              f"{ack['instance']:>2} decided {decision['value']!r} "
+              f"(agreement {decision['agreement']})")
     await send(writer, op="stats")
     stats = await recv(reader, "stats")
     print(f"[{name}] accepted {stats['proposals_accepted']} proposals, "
@@ -73,18 +80,46 @@ async def proposer(host, port, name, values, *, instance=None):
     await writer.wait_closed()
 
 
-async def late_joiner(host, port):
-    """Attach mid-run: the welcome snapshot replaces replaying history."""
-    await asyncio.sleep(0.12)  # let the world decide a few instances first
+async def watcher(host, port):
+    """The read models, across a mid-run world hop.
+
+    Watches one w1 instance through its whole lifecycle, then re-binds
+    the *same session* to w2 (``attach_world``), narrows its decision
+    feed to carol's ``w2.``-prefixed values, and reads w2 to completion.
+    """
     reader, writer = await asyncio.open_connection(host, port)
-    await send(writer, op="hello", client="late")
-    welcome = await recv(reader, "welcome")
-    recent = [d["value"] for d in welcome["recent_decisions"]]
-    print(f"[late] joined at round {welcome['round']}: "
-          f"{welcome['decided_instances']} instances already decided, "
-          f"ring buffer holds {recent}")
-    farewell = await recv(reader, "world-complete")
-    print(f"[late] world complete: invariants {farewell['invariants']}")
+    await send(writer, op="hello", client="watcher", world="w1")
+    await recv(reader, "welcome")
+    await send(writer, op="watch_instance", instance=3, id="w3")
+    ack = await recv(reader, "watching")
+    print(f"[watcher] watching w1 instance 3 (currently {ack['state']})")
+    while (state := await recv(reader, "instance-state"))["state"] != "decided":
+        print(f"[watcher] w1 instance 3 {state['state']} "
+              f"at round {state['round']}")
+    print(f"[watcher] w1 instance 3 decided {state['value']!r} "
+          f"at round {state['round']}")
+
+    await send(writer, op="attach_world", world="w2", id="hop")
+    attached = await recv(reader, "world-attached")
+    print(f"[watcher] hopped to {attached['world']} at round "
+          f"{attached['round']} (seq continues: {attached['seq']})")
+    await send(writer, op="subscribe_prefix", prefix="w2.")
+    await recv(reader, "subscribed")
+    await send(writer, op="worlds")
+    listing = await recv(reader, "worlds")
+    for row in listing["worlds"]:
+        print(f"[watcher] world {row['world']}: round {row['round']}, "
+              f"{row['sessions']} session(s), complete={row['complete']}")
+
+    matched = []
+    while True:
+        event = await recv(reader)
+        if event["type"] == "decision":
+            matched.append(event["value"])
+        elif event["type"] == "world-complete":
+            print(f"[watcher] w2 complete: prefix feed saw {matched}, "
+                  f"invariants {event['invariants']}")
+            break
     writer.close()
     await writer.wait_closed()
 
@@ -97,22 +132,28 @@ async def main():
                             invariants=("agreement", "validity")),
         keep_trace=False,
     )
-    service = ConsensusService(spec, ServiceConfig(tick_interval=0.02))
+    service = ConsensusService(
+        spec, ServiceConfig(tick_interval=0.02, worlds=2))
     await service.serve_tcp()
     host, port = service.tcp_address
-    print(f"serving {spec.world.n}-node CHA world on {host}:{port}")
+    print(f"serving 2 x {spec.world.n}-node CHA worlds on {host}:{port}")
 
     clients = asyncio.gather(
-        proposer(host, port, "alice", ["apple", "apricot"]),
-        proposer(host, port, "bob", ["banana"], instance=4),
-        late_joiner(host, port),
+        proposer(host, port, "alice", "w1", ["apple", "apricot"]),
+        proposer(host, port, "bob", "w1", ["banana"], instance=4),
+        # carol's values land late in w2, so the watcher's prefix
+        # subscription is active before they decide.
+        proposer(host, port, "carol", "w2",
+                 ["w2.kiwi", "w2.lime", "w2.mango"], instance=7),
+        watcher(host, port),
     )
-    world = asyncio.ensure_future(service.run_world())
+    worlds = asyncio.ensure_future(service.run_worlds())
     await clients
-    result = await world
+    results = await worlds
     await service.shutdown()
-    print(f"world ran {result.metrics['rounds']} rounds; "
-          f"sessions peak {service.sessions.peak}, "
+    for name in sorted(results):
+        print(f"world {name} ran {results[name].metrics['rounds']} rounds")
+    print(f"sessions peak {service.sessions.peak}, "
           f"total opened {service.sessions.opened}")
 
 

@@ -176,6 +176,8 @@ def _run_load_scenario(scenario: LoadScenario, *, repeats: int,
         extras={
             "sessions": best["profile"]["sessions"],
             "pattern": best["profile"]["pattern"],
+            "worlds": best["profile"].get("worlds", 1),
+            "per_world": best.get("per_world", {}),
             "sessions_opened": best["sessions_opened"],
             "peak_sessions": best["peak_sessions"],
             "reconnects": best["reconnects"],

@@ -166,8 +166,9 @@ def _vi_grid(n_sites: int, replicas_per_vn: int,
 def _svc(sessions: int, pattern: str, *, n: int = 24, instances: int = 60,
          proposals_per_session: int = 2, queue_limit: int = 1024,
          tick_interval: float = 0.0, ramp_s: float = 0.25,
-         seed: int = 0) -> Callable[[], tuple[ExperimentSpec, LoadProfile,
-                                              ServiceConfig]]:
+         seed: int = 0, worlds: int = 1,
+         ) -> Callable[[], tuple[ExperimentSpec, LoadProfile,
+                                 ServiceConfig]]:
     def make() -> tuple[ExperimentSpec, LoadProfile, ServiceConfig]:
         spec = ExperimentSpec(
             protocol=CHA(),
@@ -180,11 +181,11 @@ def _svc(sessions: int, pattern: str, *, n: int = 24, instances: int = 60,
         profile = LoadProfile(
             sessions=sessions, pattern=pattern,
             proposals_per_session=proposals_per_session,
-            ramp_s=ramp_s, seed=seed,
+            ramp_s=ramp_s, seed=seed, worlds=worlds,
         )
         config = ServiceConfig(queue_limit=queue_limit,
                                tick_interval=tick_interval,
-                               decision_log_limit=32)
+                               decision_log_limit=32, worlds=worlds)
         return spec, profile, config
     return make
 
@@ -321,6 +322,14 @@ ALL_SCENARIOS: tuple[BenchScenario | LoadScenario, ...] = (
                     "concurrency headliner (peak sessions == 1000)",
         make_load=_svc(1000, "flash", n=30, instances=100,
                        proposals_per_session=3, seed=7),
+    ),
+    LoadScenario(
+        name="svc-multi-8x250", family="service", n=2000,
+        description="8 served 24-node CHAP worlds on one loop, 250 "
+                    "sessions flash-attached per world (2000 total); "
+                    "per-world p99 decision latency in extras.per_world",
+        make_load=_svc(2000, "flash", instances=40,
+                       proposals_per_session=2, seed=13, worlds=8),
     ),
 )
 

@@ -92,6 +92,10 @@ HISTORY_TIMER = HistoryTimer()
 #: Current interning generation (see :func:`new_chain_generation`).
 _chain_generation = 0
 
+#: High-water mark: generations are allocated from here so re-activating
+#: an old generation can never hand its number to a new execution.
+_generation_counter = 0
+
 
 def new_chain_generation() -> int:
     """Open a fresh chain-interning generation and return its number.
@@ -108,9 +112,29 @@ def new_chain_generation() -> int:
     interning per execution keeps all sharing within a run (where every
     participant folds the same wire objects) and none across runs.
     """
-    global _chain_generation
-    _chain_generation += 1
+    global _chain_generation, _generation_counter
+    _generation_counter += 1
+    _chain_generation = _generation_counter
     return _chain_generation
+
+
+def activate_chain_generation(generation: int) -> int:
+    """Make ``generation`` the current interning generation.
+
+    Returns the previously current generation so callers can restore it.
+    Executions that *interleave* — several live
+    :class:`~repro.experiment.runner.ExperimentStepper`\\ s advanced in
+    turns on one event loop, as the multi-world service does — must
+    re-activate their own generation around every step: constructing
+    world B mid-run of world A would otherwise split A's interning
+    across two generations, so equal folds from either side of the
+    split stop being the same object and A's pickled sharing structure
+    diverges from an uninterrupted batch run of the same spec.
+    """
+    global _chain_generation
+    previous = _chain_generation
+    _chain_generation = generation
+    return previous
 
 
 def _intern_key(value):

@@ -29,7 +29,11 @@ from ..baselines.two_phase_cha import TWO_PHASE_ROUNDS, TwoPhaseChaProcess
 from ..contention import LeaderElectionCM
 from ..core.cha import CHAProcess, ROUNDS_PER_INSTANCE
 from ..core.checkpoint import CheckpointCHAProcess
-from ..core.history import HISTORY_TIMER, new_chain_generation
+from ..core.history import (
+    HISTORY_TIMER,
+    activate_chain_generation,
+    new_chain_generation,
+)
 from ..core.runner import ChaRun, cluster_positions, default_proposer
 from ..core.spec import check_agreement, check_liveness, check_validity
 from ..detectors import EventuallyAccurateDetector
@@ -384,8 +388,12 @@ class ExperimentStepper:
             spec = apply_faults(spec)
         # One execution = one chain-interning generation: a prior run's
         # uncollected chains must never satisfy this run's interning
-        # probes (see core.history.new_chain_generation).
-        new_chain_generation()
+        # probes (see core.history.new_chain_generation).  The stepper
+        # remembers its generation and re-activates it around every
+        # step/finish, so several live steppers advanced in turns (the
+        # multi-world service) each keep interning in their own
+        # generation exactly as an uninterrupted run would.
+        self.generation = new_chain_generation()
         self._history_t0 = (HISTORY_TIMER.seconds
                             if HISTORY_TIMER.enabled else None)
         self._active_s = 0.0
@@ -442,7 +450,11 @@ class ExperimentStepper:
         if ticks < 0:
             raise ConfigurationError("ticks must be non-negative")
         started = time.perf_counter()
-        ran = self._exec.step(ticks)
+        previous = activate_chain_generation(self.generation)
+        try:
+            ran = self._exec.step(ticks)
+        finally:
+            activate_chain_generation(previous)
         self._active_s += time.perf_counter() - started
         return ran
 
@@ -454,8 +466,12 @@ class ExperimentStepper:
         if self._result is not None:
             return self._result
         started = time.perf_counter()
-        self._exec.step(self.remaining)
-        result = self._exec.finalize()
+        previous = activate_chain_generation(self.generation)
+        try:
+            self._exec.step(self.remaining)
+            result = self._exec.finalize()
+        finally:
+            activate_chain_generation(previous)
         self._active_s += time.perf_counter() - started
         result.timings["wall_s"] = self._active_s
         if self._history_t0 is not None:

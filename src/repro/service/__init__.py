@@ -1,14 +1,22 @@
-"""repro.service — consensus as a service over one live world.
+"""repro.service — consensus as a service over many live worlds.
 
 The batch layer (:func:`repro.run`) answers "what does this world do?";
 this package answers "what happens when many concurrent clients talk to
-it *while it runs*?".  A :class:`ConsensusService` owns one
-:class:`~repro.experiment.runner.ExperimentStepper` advanced on an
-asyncio clock (:class:`~.driver.WorldDriver`); clients open sessions,
-submit proposals into upcoming instances, and stream per-instance
-``decision`` events carrying live agreement verdicts — over TCP
-(newline-delimited JSON, :mod:`~.events`) or in-process
-(:class:`InProcessClient`, what the tests and the load harness use).
+it *while it runs*?".  A :class:`ConsensusService` owns a
+:class:`~.registry.WorldRegistry` of named worlds — each a
+:class:`~repro.experiment.runner.ExperimentStepper` advanced on its own
+asyncio clock (:class:`~.driver.WorldDriver`), all sharing one loop.
+Clients open sessions bound to a named world, submit proposals into
+upcoming instances, and stream per-instance ``decision`` events
+carrying live agreement verdicts — over TCP (newline-delimited JSON,
+:mod:`~.events`) or in-process (:class:`InProcessClient`, what the
+tests and the load harness use).  Worlds appear lazily
+(``create_world``), sessions move between them (``attach_world``), and
+idle unpinned worlds retire after a grace window.  Two read models
+narrow a session's stream: ``watch_instance`` (every state transition
+of one instance) and ``subscribe_prefix`` (decisions whose value
+matches a prefix) — both per-session publish-time filters, so they
+never stall a world's clock.
 
 Determinism is the design invariant: client traffic only lands
 proposals in the :class:`~.driver.ProposalLedger` before each instance
@@ -40,12 +48,14 @@ from .events import (
     MAX_LINE_BYTES,
     WIRE_SCHEMA,
     WireError,
+    catalog,
     decode_event,
     encode_event,
     parse_request,
     validate_request,
 )
 from .loadgen import LoadProfile, percentiles, run_load, run_load_sync
+from .registry import WorldEntry, WorldRegistry, spec_hash
 from .server import ConsensusService, InProcessClient, ServiceConfig
 from .session import Session, SessionManager
 
@@ -63,11 +73,15 @@ __all__ = [
     "WIRE_SCHEMA",
     "WireError",
     "WorldDriver",
+    "WorldEntry",
+    "WorldRegistry",
+    "catalog",
     "decode_event",
     "encode_event",
     "parse_request",
     "percentiles",
     "run_load",
     "run_load_sync",
+    "spec_hash",
     "validate_request",
 ]

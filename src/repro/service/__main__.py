@@ -1,10 +1,14 @@
-"""``python -m repro.service`` — serve one live world over TCP.
+"""``python -m repro.service`` — serve live worlds over TCP.
 
-Builds a CHA-family cluster world from CLI flags, serves it on the
-NDJSON wire protocol, releases the world clock, and exits once the
-workload completes and the sessions have drained.  ``--describe``
-validates the configuration and prints it as JSON without opening a
-socket or running a round — the CI console-script smoke test.
+Builds a CHA-family cluster world template from CLI flags, pre-creates
+``--worlds`` pinned worlds from it (``w1`` … ``wN``), serves them on
+the NDJSON wire protocol, releases the world clocks, and exits once the
+workloads complete and the sessions have drained.  ``--describe``
+validates the configuration and prints it — together with the
+machine-readable op/event catalog derived from
+:mod:`repro.service.events` — as JSON without opening a socket or
+running a round; ``docs/WIRE_PROTOCOL.md`` is pinned against that
+catalog by the doc-drift test.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from ..experiment.spec import (
     TwoPhaseCHA,
     WorkloadSpec,
 )
+from .events import catalog
 from .server import ConsensusService, ServiceConfig
 
 _PROTOCOLS = {
@@ -50,24 +55,55 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         rounds_per_tick=args.rounds_per_tick,
         queue_limit=args.queue_limit,
         max_sessions=args.max_sessions,
+        worlds=args.worlds,
+        max_worlds=args.max_worlds,
+        idle_world_grace_s=args.idle_grace,
+        reaper_interval_s=args.idle_grace / 2 if args.idle_grace > 0 else 0.0,
     )
+
+
+def describe(args: argparse.Namespace, config: ServiceConfig) -> dict:
+    """What ``--describe`` prints: the config plus the wire catalog."""
+    return {
+        "config": {
+            "protocol": args.protocol,
+            "world": {"n": args.nodes, "rcf": args.rcf},
+            "workload": {"instances": args.instances},
+            "service": {
+                "host": config.host, "port": config.port,
+                "tick_interval": config.tick_interval,
+                "rounds_per_tick": config.rounds_per_tick,
+                "queue_limit": config.queue_limit,
+                "max_sessions": config.max_sessions,
+                "worlds": config.worlds,
+                "max_worlds": config.max_worlds,
+                "idle_world_grace_s": config.idle_world_grace_s,
+            },
+        },
+        "catalog": catalog(),
+    }
 
 
 async def _serve(spec: ExperimentSpec, config: ServiceConfig) -> dict:
     service = ConsensusService(spec, config)
     server = await service.serve_tcp()
     host, port = service.tcp_address
-    print(f"repro.service: serving {spec.world.n}-node "
-          f"{type(spec.protocol).__name__} world on {host}:{port} "
+    print(f"repro.service: serving {config.worlds} x {spec.world.n}-node "
+          f"{type(spec.protocol).__name__} world(s) on {host}:{port} "
           f"(tick={config.tick_interval}s x {config.rounds_per_tick} rounds)")
-    result = await service.run_world()
+    results = await service.run_worlds()
     totals = service.sessions.totals()
+    decisions = sum(entry.driver.decisions_published
+                    for entry in service.registry)
     await service.shutdown("world complete")
     server.close()
     return {
-        "rounds": int(result.timings.get("rounds", 0)),
-        "decisions": service.driver.decisions_published,
-        "invariants": dict(result.invariants),
+        "rounds": sum(int(result.timings.get("rounds", 0))
+                      for result in results.values()),
+        "worlds": len(results),
+        "decisions": decisions,
+        "invariants": {name: dict(result.invariants)
+                       for name, result in results.items()},
         "sessions": totals,
     }
 
@@ -75,8 +111,8 @@ async def _serve(spec: ExperimentSpec, config: ServiceConfig) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Serve a live consensus world over newline-delimited "
-                    "JSON (see README: 'Serving a live world').",
+        description="Serve live consensus worlds over newline-delimited "
+                    "JSON (see docs/WIRE_PROTOCOL.md).",
     )
     parser.add_argument("--protocol", choices=sorted(_PROTOCOLS),
                         default="cha",
@@ -84,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nodes", type=int, default=24,
                         help="cluster size (default: %(default)s)")
     parser.add_argument("--instances", type=int, default=1000,
-                        help="consensus instances the world runs before "
+                        help="consensus instances each world runs before "
                              "completing (default: %(default)s)")
     parser.add_argument("--rcf", type=int, default=0,
                         help="contention-stabilisation round (default: 0)")
@@ -105,31 +141,31 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--max-sessions", type=int, default=10_000,
                         help="concurrent session cap (default: %(default)s)")
+    parser.add_argument("--worlds", type=int, default=1,
+                        help="pinned worlds pre-created from the template, "
+                             "named w1..wN (default: %(default)s)")
+    parser.add_argument("--max-worlds", type=int, default=64,
+                        help="cap on live worlds, lazily created ones "
+                             "included (default: %(default)s)")
+    parser.add_argument("--idle-grace", type=float, default=30.0,
+                        help="seconds an unpinned world may sit without "
+                             "sessions before eviction (default: %(default)s)")
     parser.add_argument("--describe", action="store_true",
-                        help="validate the configuration, print it as "
-                             "JSON, and exit without serving")
+                        help="validate the configuration, print it plus the "
+                             "op/event catalog as JSON, and exit without "
+                             "serving")
     args = parser.parse_args(argv)
 
     spec = build_spec(args)
     spec.validate()
     config = build_config(args)
     if args.describe:
-        print(json.dumps({
-            "protocol": args.protocol,
-            "world": {"n": args.nodes, "rcf": args.rcf},
-            "workload": {"instances": args.instances},
-            "service": {
-                "host": config.host, "port": config.port,
-                "tick_interval": config.tick_interval,
-                "rounds_per_tick": config.rounds_per_tick,
-                "queue_limit": config.queue_limit,
-                "max_sessions": config.max_sessions,
-            },
-        }, indent=2, sort_keys=True))
+        print(json.dumps(describe(args, config), indent=2, sort_keys=True))
         return 0
 
     summary = _run(spec, config)
-    print(f"repro.service: world complete after {summary['rounds']} rounds, "
+    print(f"repro.service: {summary['worlds']} world(s) complete after "
+          f"{summary['rounds']} total rounds, "
           f"{summary['decisions']} decisions; "
           f"served {summary['sessions']['opened']} session(s) "
           f"(peak {summary['sessions']['peak']}), invariants "

@@ -12,10 +12,20 @@ Three pieces, composed by :class:`~repro.service.server.ConsensusService`:
 * :class:`EventBus` / :class:`SessionQueue` — per-session bounded fan-out
   with a drop-oldest slow-consumer policy.  Events are stamped with a
   per-session ``seq`` at enqueue, so consumers detect drops as gaps.
+  Each subscription may carry an **event filter** — the hook the read
+  models (``watch_instance``, ``subscribe_prefix``) hang off: filters
+  run synchronously at publish, *before* enqueue, so a filtered-out
+  event costs a subscriber nothing and a slow consumer still drops
+  rather than stalls the world's clock.
 * :class:`WorldDriver` — owns an :class:`~repro.experiment.runner.ExperimentStepper`
-  and advances it ``rounds_per_tick`` rounds per tick, harvesting newly
-  decided instances into ``decision`` events (each carrying a live
-  agreement verdict from :func:`repro.core.spec.check_agreement`).
+  and advances it ``rounds_per_tick`` rounds per tick, publishing
+  ``instance-state`` transitions (pending → running → decided) and
+  harvesting newly decided instances into ``decision`` events (each
+  carrying a live agreement verdict from
+  :func:`repro.core.spec.check_agreement`).  Many drivers — one per
+  registered world — share one asyncio loop; each carries its world
+  ``name`` and ``spec_hash`` so every event says which world it is
+  from.
 
 The driver's :meth:`~WorldDriver.tick` is synchronous: a tick runs
 between awaits, so sessions never observe — or perturb — a half-stepped
@@ -36,9 +46,14 @@ from ..experiment.result import OK, ExperimentResult
 from ..experiment.runner import ExperimentStepper, Instrument
 from ..experiment.spec import CHA, ExperimentSpec, NaiveRSM, TwoPhaseCHA
 from ..types import BOTTOM, NodeId
+from .registry import spec_hash as _spec_hash
 
 Value = Any
 Instance = int
+
+#: A per-subscription event filter: called at publish time, before
+#: enqueue; ``False`` means "this subscriber does not want this event".
+EventFilter = Callable[[dict], bool]
 
 #: ``(instance, node, value)`` rows; ``node is None`` means "any node
 #: without its own assignment proposes this value".
@@ -174,28 +189,44 @@ class SessionQueue:
 
 
 class EventBus:
-    """Fan-out of world events to per-session queues."""
+    """Fan-out of world events to per-session queues.
+
+    A subscription optionally carries an :data:`EventFilter`; the read
+    models are exactly such filters (the session owns the mutable watch
+    set / prefix the filter consults).  :meth:`attach` re-binds an
+    *existing* queue — how ``attach_world`` moves a session to another
+    world's bus without resetting its ``seq`` stream.
+    """
 
     def __init__(self) -> None:
-        self._queues: dict[str, SessionQueue] = {}
+        self._queues: dict[str, tuple[SessionQueue, EventFilter | None]] = {}
 
     @property
     def subscribers(self) -> int:
         return len(self._queues)
 
-    def subscribe(self, session_id: str, limit: int) -> SessionQueue:
+    def subscribe(self, session_id: str, limit: int,
+                  event_filter: EventFilter | None = None) -> SessionQueue:
         if session_id in self._queues:
             raise ServiceError(f"session {session_id!r} already subscribed")
         queue = SessionQueue(limit)
-        self._queues[session_id] = queue
+        self._queues[session_id] = (queue, event_filter)
         return queue
+
+    def attach(self, session_id: str, queue: SessionQueue,
+               event_filter: EventFilter | None = None) -> None:
+        """Subscribe an existing queue (``seq`` continues uninterrupted)."""
+        if session_id in self._queues:
+            raise ServiceError(f"session {session_id!r} already subscribed")
+        self._queues[session_id] = (queue, event_filter)
 
     def unsubscribe(self, session_id: str) -> None:
         self._queues.pop(session_id, None)
 
     def publish(self, event: dict) -> None:
-        for queue in self._queues.values():
-            queue.put(event)
+        for queue, event_filter in self._queues.values():
+            if event_filter is None or event_filter(event):
+                queue.put(event)
 
 
 class WorldDriver:
@@ -214,6 +245,7 @@ class WorldDriver:
     SERVABLE = (CHA, NaiveRSM, TwoPhaseCHA)
 
     def __init__(self, spec: ExperimentSpec, *,
+                 name: str = "w1",
                  rounds_per_tick: int = ROUNDS_PER_INSTANCE,
                  tick_interval: float = 0.0,
                  decision_log_limit: int = 256,
@@ -225,6 +257,10 @@ class WorldDriver:
             )
         if rounds_per_tick < 1:
             raise ConfigurationError("rounds_per_tick must be >= 1")
+        self.name = name
+        # Fingerprint the inert spec, before the proposer closure is
+        # injected — the hash must match what a batch replay would hash.
+        self.spec_hash = _spec_hash(spec)
         self.ledger = ProposalLedger(
             getattr(spec.protocol, "proposer_factory", None) or default_proposer
         )
@@ -256,6 +292,8 @@ class WorldDriver:
     def snapshot(self) -> dict:
         """The catch-up view a newly attached session receives."""
         return {
+            "world": self.name,
+            "spec_hash": self.spec_hash,
             "round": self.current_round,
             "nodes": self.nodes,
             "next_instance": self.ledger.next_open,
@@ -263,6 +301,28 @@ class WorldDriver:
             "recent_decisions": list(self._decision_log),
             "complete": self.complete,
         }
+
+    def instance_state(self, instance: Instance) -> dict:
+        """The read-model view of one instance's lifecycle.
+
+        ``pending`` — the world has not pulled its proposals yet;
+        ``running`` — the proposal watermark passed it, no decision yet;
+        ``decided`` — harvested, with ``value``/``agreement`` attached
+        when the decision is still inside the bounded decision log.
+        """
+        state: dict = {"instance": instance}
+        if instance <= self._harvested:
+            state["state"] = "decided"
+            for event in self._decision_log:
+                if event["instance"] == instance:
+                    state["value"] = event["value"]
+                    state["agreement"] = event["agreement"]
+                    break
+        elif instance <= self.ledger.frozen_through:
+            state["state"] = "running"
+        else:
+            state["state"] = "pending"
+        return state
 
     # -- proposals -----------------------------------------------------
 
@@ -280,15 +340,33 @@ class WorldDriver:
     # -- the clock -----------------------------------------------------
 
     def tick(self) -> list[dict]:
-        """Advance one tick; publish and return the new decision events.
+        """Advance one tick; publish and return the new events.
 
         Synchronous — runs between awaits, so no session interleaves
-        with a half-stepped world.
+        with a half-stepped world.  Publishes, in order: ``running``
+        transitions for instances whose proposals froze this tick,
+        ``decision`` events for newly harvested instances, then their
+        ``decided`` transitions.  The transition events only reach
+        sessions whose filters want them (i.e. watchers).
         """
         if self.complete:
             return []
+        watermark = self.ledger.frozen_through
         self.stepper.step(self.rounds_per_tick)
-        events = self._harvest()
+        events: list[dict] = [
+            {"type": "instance-state", "world": self.name, "instance": k,
+             "round": self.current_round, "state": "running"}
+            for k in range(watermark + 1, self.ledger.frozen_through + 1)
+        ]
+        decisions = self._harvest()
+        events.extend(decisions)
+        events.extend(
+            {"type": "instance-state", "world": self.name,
+             "instance": d["instance"], "round": d["round"],
+             "state": "decided", "value": d["value"],
+             "agreement": d["agreement"]}
+            for d in decisions
+        )
         for event in events:
             self.bus.publish(event)
         if self.stepper.remaining == 0:
@@ -335,6 +413,7 @@ class WorldDriver:
                 verdict = OK
             events.append({
                 "type": "decision",
+                "world": self.name,
                 "instance": instance,
                 "round": self.current_round,
                 "value": value,
@@ -352,6 +431,7 @@ class WorldDriver:
         self.result = self.stepper.finish()
         event = {
             "type": "world-complete",
+            "world": self.name,
             "round": self.current_round,
             "instances": self._harvested,
             "decisions": self.decisions_published,

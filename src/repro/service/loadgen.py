@@ -10,11 +10,18 @@ the decision of the acked instance, then proposes again) shaped by a
 * ``churn`` — flash attach, but after each observed decision a client
   may disconnect and reconnect as a brand-new session (seeded RNG).
 
-The world itself stays deterministic — client traffic only lands
-proposals in the :class:`~.driver.ProposalLedger` — while the *measured*
-numbers (proposals/sec, decision-latency percentiles, dropped events)
-characterise the front end under concurrency.  :func:`run_load_sync` is
-the entrypoint the bench runner calls for ``svc-*`` scenarios.
+With :attr:`LoadProfile.worlds` > 1 the service pre-creates that many
+pinned worlds from the template spec and the population is dealt
+round-robin across them (``w1`` … ``wN``); the report then carries a
+``per_world`` breakdown (sessions, decisions, latency percentiles,
+invariants per world) alongside the aggregate numbers.
+
+The worlds themselves stay deterministic — client traffic only lands
+proposals in each world's :class:`~.driver.ProposalLedger` — while the
+*measured* numbers (proposals/sec, decision-latency percentiles,
+dropped events) characterise the front end under concurrency.
+:func:`run_load_sync` is the entrypoint the bench runner calls for
+``svc-*`` scenarios.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import ServiceError
 from ..experiment.spec import ExperimentSpec
@@ -47,6 +54,8 @@ class LoadProfile:
     #: an unbounded wait deadlocks the client; a timed-out sample counts
     #: as ``dropped_samples`` and the client moves on.
     decision_wait_s: float = 60.0
+    #: Worlds to spread the population across (round-robin, w1..wN).
+    worlds: int = 1
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
@@ -57,6 +66,11 @@ class LoadProfile:
             raise ValueError("sessions must be >= 1")
         if self.decision_wait_s <= 0:
             raise ValueError("decision_wait_s must be positive")
+        if self.worlds < 1:
+            raise ValueError("worlds must be >= 1")
+        if self.worlds > self.sessions:
+            raise ValueError("worlds must not exceed sessions (every "
+                             "world needs at least one client)")
 
 
 @dataclass
@@ -127,18 +141,20 @@ async def _await_decision(client: InProcessClient, instance: int,
 
 
 async def _client_loop(service: ConsensusService, profile: LoadProfile,
-                       rng: random.Random, index: int, tally: _Tally) -> None:
+                       rng: random.Random, index: int, tally: _Tally,
+                       world: str) -> None:
     if profile.pattern == "ramp" and profile.sessions > 1:
         await asyncio.sleep(profile.ramp_s * index / (profile.sessions - 1))
     try:
-        client = service.connect(client=f"loadgen-{index}")
+        client = service.connect(client=f"loadgen-{index}", world=world)
     except ServiceError:
         return
+    driver = service.registry.get(world).driver
     tally.sessions_opened += 1
     await client.next_event()  # the welcome snapshot
     try:
         for attempt in range(profile.proposals_per_session):
-            if service.driver.complete:
+            if driver.complete:
                 tally.unserved += (profile.proposals_per_session - attempt)
                 break
             sent_at = time.perf_counter()
@@ -181,7 +197,8 @@ async def _client_loop(service: ConsensusService, profile: LoadProfile,
                 client.close()
                 tally.reconnects += 1
                 try:
-                    client = service.connect(client=f"loadgen-{index}r")
+                    client = service.connect(client=f"loadgen-{index}r",
+                                             world=world)
                 except ServiceError:
                     tally.unserved += (profile.proposals_per_session
                                        - attempt - 1)
@@ -195,34 +212,88 @@ async def _client_loop(service: ConsensusService, profile: LoadProfile,
 
 async def run_load(spec: ExperimentSpec, profile: LoadProfile,
                    config: ServiceConfig = ServiceConfig()) -> dict:
-    """Serve ``spec``, drive the client population, report the numbers."""
+    """Serve ``spec``, drive the client population, report the numbers.
+
+    ``profile.worlds`` wins over ``config.worlds``: the service is built
+    with exactly the world count the population is dealt across.
+    """
+    if config.worlds != profile.worlds:
+        config = replace(config, worlds=profile.worlds)
     service = ConsensusService(spec, config)
+    world_names = [f"w{i + 1}" for i in range(profile.worlds)]
     rng = random.Random(profile.seed)
-    tally = _Tally()
+    tallies = {name: _Tally() for name in world_names}
     client_rngs = [random.Random(rng.getrandbits(64))
                    for _ in range(profile.sessions)]
     started = time.perf_counter()
     clients = [
         asyncio.ensure_future(
-            _client_loop(service, profile, client_rngs[i], i, tally))
+            _client_loop(service, profile, client_rngs[i], i,
+                         tallies[world_names[i % profile.worlds]],
+                         world_names[i % profile.worlds]))
         for i in range(profile.sessions)
     ]
-    world = service.start_world()
+    service.start_world()
     await asyncio.gather(*clients)
-    # Clients done; let the world finish so rounds/sec means something.
-    await world
+    # Clients done; let the worlds finish so rounds/sec means something.
+    results = await service.run_worlds()
     wall_s = time.perf_counter() - started
     await service.shutdown()
-    rounds = service.driver.current_round
+    drivers = {name: service.registry.get(name).driver
+               for name in world_names}
+    rounds = sum(driver.current_round for driver in drivers.values())
+    tally = _Tally()
+    for t in tallies.values():
+        tally.sessions_opened += t.sessions_opened
+        tally.proposals_submitted += t.proposals_submitted
+        tally.proposals_accepted += t.proposals_accepted
+        tally.proposals_rejected += t.proposals_rejected
+        tally.decisions_observed += t.decisions_observed
+        tally.unserved += t.unserved
+        tally.reconnects += t.reconnects
+        tally.dropped_events += t.dropped_events
+        tally.dropped_samples += t.dropped_samples
+        tally.latencies_s.extend(t.latencies_s)
+    sessions_per_world = {
+        name: sum(1 for i in range(profile.sessions)
+                  if world_names[i % profile.worlds] == name)
+        for name in world_names
+    }
+    per_world = {
+        name: {
+            "sessions": sessions_per_world[name],
+            "sessions_opened": tallies[name].sessions_opened,
+            "rounds": drivers[name].current_round,
+            "proposals_accepted": tallies[name].proposals_accepted,
+            "decisions_observed": tallies[name].decisions_observed,
+            "unserved": tallies[name].unserved,
+            "dropped_events": tallies[name].dropped_events,
+            "dropped_samples": tallies[name].dropped_samples,
+            "decision_latency_s": percentiles(tallies[name].latencies_s),
+            "world_decisions": drivers[name].decisions_published,
+            "invariants": dict(results[name].invariants)
+            if name in results else {},
+        }
+        for name in world_names
+    }
+    # Aggregate invariants: ok only when every world's verdict is ok.
+    invariants: dict[str, str] = {}
+    for name in world_names:
+        for key, verdict in per_world[name]["invariants"].items():
+            if verdict != "ok":
+                invariants[key] = f"{name}: {verdict}"
+            elif key not in invariants:
+                invariants[key] = verdict
     return {
         "profile": {
             "pattern": profile.pattern,
             "sessions": profile.sessions,
             "proposals_per_session": profile.proposals_per_session,
             "seed": profile.seed,
+            "worlds": profile.worlds,
         },
         "world": {
-            "n": service.driver.nodes,
+            "n": next(iter(drivers.values())).nodes,
             "instances": spec.workload.instances,
             "rounds_per_tick": config.rounds_per_tick,
         },
@@ -242,9 +313,10 @@ async def run_load(spec: ExperimentSpec, profile: LoadProfile,
         "dropped_events": tally.dropped_events,
         "dropped_samples": tally.dropped_samples,
         "decision_latency_s": percentiles(tally.latencies_s),
-        "world_decisions": service.driver.decisions_published,
-        "invariants": dict(service.driver.result.invariants
-                           if service.driver.result else {}),
+        "world_decisions": sum(d.decisions_published
+                               for d in drivers.values()),
+        "per_world": per_world,
+        "invariants": invariants,
     }
 
 

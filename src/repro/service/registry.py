@@ -1,0 +1,242 @@
+"""The world registry: many live worlds in one service, keyed by spec hash.
+
+The single-world service (PR 6) owned exactly one
+:class:`~repro.service.driver.WorldDriver`; the registry generalises
+that to a table of named worlds sharing one asyncio loop.  Identity has
+two layers:
+
+* every world carries a **spec hash** — :func:`spec_hash` over the
+  canonical pickle of its (inert, pre-proposer-injection)
+  :class:`~repro.experiment.spec.ExperimentSpec` — reported in
+  ``welcome``/``world-created``/``worlds`` events so a client can verify
+  *what* a world runs without trusting its name;
+* a world created **without** a name is registered under an id derived
+  from that hash (``w-<hash12>``), so anonymous creation is literally
+  keyed by spec hash: creating the same spec twice is a duplicate-create
+  error naming the existing world.  Named worlds (``create_world`` with
+  a ``world`` field, or the CLI's pre-created ``w1..wN``) may share a
+  template spec under distinct names.
+
+Lifecycle: the registry counts attached sessions per world
+(:meth:`attach`/:meth:`detach`) and stamps ``idle_since`` when a world's
+last session detaches; :meth:`evict_idle` retires unpinned worlds whose
+idle time exceeded the grace window.  Pre-created worlds are *pinned*
+(never evicted) so ``hello`` without a world name always has somewhere
+to land; an in-flight ``watch_instance`` keeps its world alive simply
+because watches belong to attached sessions.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import pickle
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ServiceError
+from ..experiment.spec import ExperimentSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .driver import WorldDriver
+
+#: World names on the wire: short, filesystem/JSON-friendly tokens.
+WORLD_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Pickle protocol pinned so a spec's hash is stable across processes.
+_HASH_PICKLE_PROTOCOL = 4
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """A stable fingerprint of an experiment spec.
+
+    Hashes the canonical pickle (protocol pinned); specs must pickle
+    anyway for the sweep runner, so this covers every servable spec.
+    A spec smuggling an unpicklable component (say, a locally defined
+    proposer closure) falls back to hashing its ``repr`` — weaker (two
+    structurally equal specs with distinct closure reprs hash apart) but
+    never wrong in the direction that matters: equal hashes still imply
+    the operator intended the same world.
+    """
+    try:
+        payload = pickle.dumps(spec, protocol=_HASH_PICKLE_PROTOCOL)
+    except Exception:
+        payload = repr(spec).encode("utf-8", "backslashreplace")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class WorldEntry:
+    """One registered world and its service-level bookkeeping."""
+
+    name: str
+    driver: "WorldDriver"
+    spec_hash: str
+    #: Pinned worlds (the CLI's pre-created ``w1..wN``) never evict.
+    pinned: bool = False
+    #: Sessions currently attached (registry-maintained).
+    sessions: int = 0
+    #: Clock reading when the session count last dropped to zero.
+    idle_since: float = 0.0
+    #: Creation order, for stable ``worlds`` listings.
+    serial: int = 0
+
+    def describe(self) -> dict:
+        """The client-visible row of a ``worlds`` listing."""
+        return {
+            "world": self.name,
+            "spec_hash": self.spec_hash,
+            "round": self.driver.current_round,
+            "decided_instances": self.driver.decisions_published,
+            "sessions": self.sessions,
+            "complete": self.driver.complete,
+            "pinned": self.pinned,
+        }
+
+
+class WorldRegistry:
+    """Named live worlds, created lazily and evicted when idle.
+
+    The registry builds drivers through the ``driver_factory`` the
+    service injects (so service-level knobs — tick pacing, decision-log
+    bounds, instrumentation — apply uniformly), bounds the world count,
+    and owns the attach/detach session accounting the idle reaper reads.
+    ``clock`` is injectable for deterministic eviction tests.
+    """
+
+    def __init__(self, template: ExperimentSpec,
+                 driver_factory: Callable[[ExperimentSpec, str], "WorldDriver"],
+                 *, max_worlds: int = 64,
+                 clock: Callable[[], float] | None = None) -> None:
+        if max_worlds < 1:
+            raise ServiceError("max_worlds must be >= 1")
+        self.template = template
+        self._driver_factory = driver_factory
+        self._max_worlds = max_worlds
+        self._clock = clock if clock is not None else _monotonic
+        self._worlds: dict[str, WorldEntry] = {}
+        self._created = 0
+        self.evicted = 0
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._worlds
+
+    def __iter__(self):
+        """Entries in creation order (stable across evict/recreate)."""
+        return iter(sorted(self._worlds.values(), key=lambda e: e.serial))
+
+    def names(self) -> list[str]:
+        return [entry.name for entry in self]
+
+    def get(self, name: str) -> WorldEntry:
+        entry = self._worlds.get(name)
+        if entry is None:
+            raise ServiceError(
+                f"unknown world {name!r}; known worlds: {self.names()}"
+            )
+        return entry
+
+    def describe(self) -> list[dict]:
+        return [entry.describe() for entry in self]
+
+    # -- creation / removal --------------------------------------------
+
+    def create(self, name: str | None = None,
+               spec: ExperimentSpec | None = None, *,
+               pinned: bool = False) -> WorldEntry:
+        """Register (and build) one world; returns its entry.
+
+        ``spec`` defaults to the service template.  With ``name=None``
+        the world is keyed by its spec hash — a second anonymous create
+        of the same spec is a duplicate, reported with the existing
+        world's id so the client can ``attach_world`` instead.
+        """
+        spec = self.template if spec is None else spec
+        fingerprint = spec_hash(spec)
+        if name is None:
+            name = f"w-{fingerprint[:12]}"
+            if name in self._worlds:
+                raise ServiceError(
+                    f"a world with this spec already exists as {name!r} "
+                    "(spec hashes are the identity of unnamed worlds); "
+                    "attach_world to it instead of re-creating it"
+                )
+        else:
+            if not WORLD_NAME_RE.match(name):
+                raise ServiceError(
+                    f"invalid world name {name!r}: use 1-64 characters "
+                    "from [A-Za-z0-9._-], starting alphanumeric"
+                )
+            if name in self._worlds:
+                raise ServiceError(f"world {name!r} already exists")
+        if len(self._worlds) >= self._max_worlds:
+            raise ServiceError(
+                f"world limit reached ({self._max_worlds})"
+            )
+        # Every world runs a *private copy* of its spec — the same idiom
+        # as the sweep runner.  Environment components (adversaries,
+        # detectors) carry seeded runtime state; sharing one instance
+        # across worlds would interleave their RNG draws, making each
+        # world's execution depend on its siblings' traffic.  The copy
+        # is taken from the never-run template, so every world starts
+        # from the pristine seeded state a batch replay also gets.
+        driver = self._driver_factory(copy.deepcopy(spec), name)
+        self._created += 1
+        entry = WorldEntry(name=name, driver=driver, spec_hash=fingerprint,
+                           pinned=pinned, idle_since=self._clock(),
+                           serial=self._created)
+        self._worlds[name] = entry
+        return entry
+
+    def remove(self, name: str) -> WorldEntry:
+        """Drop one world from the table (the caller stops its clock)."""
+        return self._worlds.pop(self.get(name).name)
+
+    # -- session accounting --------------------------------------------
+
+    def attach(self, name: str) -> WorldEntry:
+        entry = self.get(name)
+        entry.sessions += 1
+        return entry
+
+    def detach(self, name: str) -> None:
+        entry = self._worlds.get(name)
+        if entry is None:  # world already evicted/removed: nothing to do
+            return
+        entry.sessions = max(0, entry.sessions - 1)
+        if entry.sessions == 0:
+            entry.idle_since = self._clock()
+
+    # -- idle eviction --------------------------------------------------
+
+    def evict_idle(self, grace_s: float) -> list[WorldEntry]:
+        """Retire unpinned worlds idle longer than ``grace_s``.
+
+        A world is idle while it has zero attached sessions — which is
+        also why an in-flight watch protects its world: watches belong
+        to sessions, and an attached session keeps the count positive.
+        Returns the evicted entries so the caller can cancel their
+        clock tasks.
+        """
+        now = self._clock()
+        evicted = [
+            entry for entry in list(self._worlds.values())
+            if not entry.pinned and entry.sessions == 0
+            and now - entry.idle_since >= grace_s
+        ]
+        for entry in evicted:
+            del self._worlds[entry.name]
+        self.evicted += len(evicted)
+        return evicted
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

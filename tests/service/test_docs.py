@@ -1,0 +1,154 @@
+"""The doc-drift gate: ``docs/WIRE_PROTOCOL.md`` is pinned to the code.
+
+The wire reference's op/event tables are parsed back out of the
+markdown and compared *field-for-field* against
+:func:`repro.service.events.catalog` — the same declarative tables the
+validators and ``python -m repro.service --describe`` run on.  Renaming
+a field, flipping its requiredness, rewording its doc string, or adding
+an op without touching the markdown fails here with a message naming
+the stale row.  A light link check over ``docs/`` and ``README.md``
+rides along so the docs job catches dead cross-references too.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service import events
+
+pytestmark = [pytest.mark.fast, pytest.mark.docs]
+
+REPO = Path(__file__).resolve().parents[2]
+WIRE_DOC = REPO / "docs" / "WIRE_PROTOCOL.md"
+
+_SECTION = re.compile(r"^### `([\w-]+)`$", re.MULTILINE)
+_CELL_SPLIT = re.compile(r"(?<!\\)\|")
+
+
+def _parse_sections(heading: str) -> dict[str, dict]:
+    """Extract the ``### `name``` sections under one ``## heading``.
+
+    Returns ``{name: {"doc": str, "rows": [(name, type, required)...],
+    "docs": {field: doc}, "elicits": [event, ...] | None}}``.
+    """
+    text = WIRE_DOC.read_text()
+    start = text.index(f"## {heading}")
+    # the next second-level heading closes the region
+    tail = text[start + 3:]
+    end = tail.index("\n## ")
+    region = text[start : start + 3 + end]
+
+    sections: dict[str, dict] = {}
+    matches = list(_SECTION.finditer(region))
+    for index, match in enumerate(matches):
+        body_end = (matches[index + 1].start()
+                    if index + 1 < len(matches) else len(region))
+        body = region[match.end():body_end]
+        doc_lines, rows, field_docs, elicits = [], [], {}, None
+        for line in body.splitlines():
+            line = line.strip()
+            if line.startswith("| ---") or line.startswith("| field"):
+                continue
+            if line.startswith("|"):
+                cells = [c.strip().replace("\\|", "|")
+                         for c in _CELL_SPLIT.split(line)[1:-1]]
+                name = cells[0].strip("`")
+                rows.append((name, cells[1].strip("`"), cells[2]))
+                field_docs[name] = cells[3]
+            elif line.startswith("Elicits:"):
+                elicits = [m.group(1) for m in
+                           re.finditer(r"`([\w-]+)`", line)]
+            elif line and not line.startswith("*("):
+                doc_lines.append(line)
+        sections[match.group(1)] = {
+            "doc": " ".join(doc_lines),
+            "rows": rows,
+            "docs": field_docs,
+            "elicits": elicits,
+        }
+    return sections
+
+
+def _expect_rows(fields: list[dict]) -> list[tuple[str, str, str]]:
+    return [(f["name"], f["type"], "yes" if f["required"] else "no")
+            for f in fields]
+
+
+def test_wire_doc_exists_and_names_the_schema_version():
+    text = WIRE_DOC.read_text()
+    catalog = events.catalog()
+    assert f"**{catalog['schema']}**" in text, \
+        "docs/WIRE_PROTOCOL.md must state the current schema version"
+    assert str(catalog["max_line_bytes"]) in text
+    # The envelope contract is quoted verbatim from the catalog.
+    assert catalog["envelope"]["request"] in text
+    assert catalog["envelope"]["event"] in text
+
+
+def test_every_op_table_matches_the_catalog():
+    catalog = events.catalog()
+    documented = _parse_sections("Request ops")
+    assert set(documented) == set(catalog["ops"]), (
+        "op sections out of sync: "
+        f"doc-only={sorted(set(documented) - set(catalog['ops']))} "
+        f"code-only={sorted(set(catalog['ops']) - set(documented))}")
+    for op, spec in catalog["ops"].items():
+        section = documented[op]
+        assert section["rows"] == _expect_rows(spec["fields"]), \
+            f"op {op!r}: field table drifted from events.OPS"
+        for field in spec["fields"]:
+            assert section["docs"][field["name"]] == field["doc"], \
+                f"op {op!r}, field {field['name']!r}: doc text drifted"
+        assert section["elicits"] == spec["events"], \
+            f"op {op!r}: 'Elicits' line drifted from events.OPS"
+        assert section["doc"] == spec["doc"], \
+            f"op {op!r}: section prose drifted from events.OPS"
+
+
+def test_every_event_table_matches_the_catalog():
+    catalog = events.catalog()
+    documented = _parse_sections("Events")
+    assert set(documented) == set(catalog["events"]), (
+        "event sections out of sync: "
+        f"doc-only={sorted(set(documented) - set(catalog['events']))} "
+        f"code-only={sorted(set(catalog['events']) - set(documented))}")
+    for name, spec in catalog["events"].items():
+        section = documented[name]
+        assert section["rows"] == _expect_rows(spec["fields"]), \
+            f"event {name!r}: field table drifted from events.EVENTS"
+        for field in spec["fields"]:
+            assert section["docs"][field["name"]] == field["doc"], \
+                f"event {name!r}, field {field['name']!r}: doc drifted"
+        assert section["doc"] == spec["doc"], \
+            f"event {name!r}: section prose drifted from events.EVENTS"
+
+
+def test_reference_switch_doc_names_every_switch():
+    """docs/REFERENCE_SWITCHES.md must cover the full switch family —
+    the env var *and* the spec field of each one."""
+    text = (REPO / "docs" / "REFERENCE_SWITCHES.md").read_text()
+    for env in ("REPRO_REFERENCE_CHANNEL", "REPRO_REFERENCE_HISTORY",
+                "REPRO_REFERENCE_ENGINE", "REPRO_REFERENCE_CORE",
+                "REPRO_REFERENCE_VI", "REPRO_SHARDS"):
+        assert env in text, f"switch {env} missing from the table"
+    for field in ("use_reference_history", "use_reference_engine",
+                  "use_reference_core", "use_reference_vi", "shards"):
+        assert f"`{field}`" in text, f"spec field {field} missing"
+
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def test_markdown_links_resolve():
+    """Relative links in README.md and docs/ must point at real files."""
+    dead = []
+    for doc in [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]:
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (doc.parent / target).exists():
+                dead.append(f"{doc.relative_to(REPO)} -> {target}")
+    assert not dead, f"dead relative links: {dead}"

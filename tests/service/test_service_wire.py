@@ -20,6 +20,7 @@ from repro.service import (
     parse_request,
     validate_request,
 )
+from repro.service import events
 from repro.service.__main__ import main as service_main
 
 pytestmark = pytest.mark.fast
@@ -41,6 +42,16 @@ pytestmark = pytest.mark.fast
     (b'{"op": "propose", "value": "x", "node": -1}', "non-negative"),
     (b'{"op": "propose", "value": "x", "id": 9}', "must be str"),
     (b'{"op": "hello", "client": 5}', "must be str"),
+    (b'{"op": "hello", "world": "no spaces"}', "invalid world name"),
+    (b'{"op": "create_world", "world": "-bad"}', "invalid world name"),
+    (b'{"op": "create_world", "nodes": 0}', "nodes must be >= 1"),
+    (b'{"op": "create_world", "instances": true}', "must be int"),
+    (b'{"op": "attach_world"}', "needs a 'world' field"),
+    (b'{"op": "watch_instance"}', "needs an? 'instance' field"),
+    (b'{"op": "watch_instance", "instance": 0}', "must be >= 1"),
+    (b'{"op": "unwatch_instance", "instance": "x"}', "must be int"),
+    (b'{"op": "subscribe_prefix"}', "needs a 'prefix' field"),
+    (b'{"op": "subscribe_prefix", "prefix": 1}', "must be str"),
 ])
 def test_parse_request_rejects_malformed(line, message):
     with pytest.raises(WireError, match=message):
@@ -49,13 +60,32 @@ def test_parse_request_rejects_malformed(line, message):
 
 def test_parse_request_accepts_every_op():
     assert parse_request(b'{"op": "hello"}')["op"] == "hello"
+    assert parse_request(b'{"op": "hello", "world": "w2"}')["world"] == "w2"
     assert parse_request('{"op": "ping"}')["op"] == "ping"
     assert parse_request(b'{"op": "stats"}')["op"] == "stats"
     assert parse_request(b'{"op": "bye"}')["op"] == "bye"
+    assert parse_request(b'{"op": "worlds"}')["op"] == "worlds"
+    assert parse_request(b'{"op": "create_world"}')["op"] == "create_world"
+    assert parse_request(
+        b'{"op": "create_world", "world": "lab.2", "nodes": 5, '
+        b'"instances": 9}')["world"] == "lab.2"
+    assert parse_request(
+        b'{"op": "attach_world", "world": "w1"}')["world"] == "w1"
+    assert parse_request(
+        b'{"op": "watch_instance", "instance": 4}')["instance"] == 4
+    assert parse_request(
+        b'{"op": "unwatch_instance", "instance": 4}')["instance"] == 4
+    assert parse_request(
+        b'{"op": "subscribe_prefix", "prefix": ""}')["prefix"] == ""
     request = parse_request(
         b'{"op": "propose", "value": "v", "instance": 3, "node": 0, '
         b'"id": "r1"}')
     assert request["instance"] == 3 and request["node"] == 0
+    # Nothing above misses an op the catalog documents.
+    covered = {"hello", "ping", "stats", "bye", "worlds", "create_world",
+               "attach_world", "watch_instance", "unwatch_instance",
+               "subscribe_prefix", "propose"}
+    assert covered == set(events.OPS)
 
 
 def test_parse_request_enforces_line_ceiling():
@@ -234,24 +264,85 @@ def test_tcp_session_limit_rejects_connection():
     asyncio.run(scenario())
 
 
+def test_tcp_multiworld_conversation():
+    """World ops over the wire: named hello, create/attach/worlds, a
+    watch riding along, an unknown world rejected pre-session."""
+    async def scenario():
+        service = ConsensusService(_spec(), ServiceConfig(worlds=2))
+        await service.serve_tcp()
+
+        # hello naming an unknown world is rejected before a session.
+        stranger = await _TcpClient.open(service)
+        await stranger.send(op="hello", world="w9")
+        event = await stranger.recv()
+        assert event["type"] == "error" and "unknown world" in event["reason"]
+        assert (await stranger.reader.readline()) == b""
+        assert service.sessions.active == 0
+
+        client = await _TcpClient.open(service)
+        await client.send(op="hello", world="w2")
+        welcome = await client.recv()
+        assert welcome["type"] == "welcome" and welcome["world"] == "w2"
+        assert welcome["spec_hash"]
+
+        await client.send(op="create_world", world="lab", nodes=4, id="c")
+        created = await client.recv_type("world-created")
+        assert created["world"] == "lab" and created["nodes"] == 4
+
+        await client.send(op="worlds")
+        listing = await client.recv_type("worlds")
+        assert [row["world"] for row in listing["worlds"]] \
+            == ["w1", "w2", "lab"]
+
+        await client.send(op="attach_world", world="lab", id="hop")
+        attached = await client.recv_type("world-attached")
+        assert attached["world"] == "lab" and attached["id"] == "hop"
+
+        await client.send(op="watch_instance", instance=1)
+        watching = await client.recv_type("watching")
+        assert watching["world"] == "lab"
+        assert watching["state"] == "pending"
+
+        await client.send(op="propose", value="lab-v", id="p")
+        await client.recv_type("ack")
+        service.start_world()
+        state = await client.recv_type("instance-state")
+        assert state["world"] == "lab" and state["instance"] == 1
+
+        await client.send(op="bye")
+        await client.recv_type("bye")
+        await client.close()
+        await service.run_worlds()
+        await service.shutdown()
+
+    asyncio.run(scenario())
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
-def test_cli_describe_prints_config(capsys):
+def test_cli_describe_prints_config_and_catalog(capsys):
     assert service_main(["--describe", "--nodes", "9", "--instances", "42",
                          "--protocol", "two-phase-cha",
-                         "--queue-limit", "7"]) == 0
+                         "--queue-limit", "7", "--worlds", "3"]) == 0
     described = json.loads(capsys.readouterr().out)
-    assert described["world"]["n"] == 9
-    assert described["workload"]["instances"] == 42
-    assert described["protocol"] == "two-phase-cha"
-    assert described["service"]["queue_limit"] == 7
+    config = described["config"]
+    assert config["world"]["n"] == 9
+    assert config["workload"]["instances"] == 42
+    assert config["protocol"] == "two-phase-cha"
+    assert config["service"]["queue_limit"] == 7
+    assert config["service"]["worlds"] == 3
+    # The catalog is derived from the live wire tables.
+    catalog = described["catalog"]
+    assert catalog == events.catalog()
+    assert set(catalog["ops"]) == set(events.OPS)
+    assert set(catalog["events"]) == set(events.EVENTS)
 
 
 def test_cli_serves_a_world_to_completion(capsys):
     assert service_main(["--nodes", "4", "--instances", "3",
                          "--tick-interval", "0"]) == 0
     out = capsys.readouterr().out
-    assert "serving 4-node CHA world" in out
-    assert "world complete after 9 rounds" in out
+    assert "serving 1 x 4-node CHA world(s)" in out
+    assert "1 world(s) complete after 9 total rounds" in out
